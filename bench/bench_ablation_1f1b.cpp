@@ -1,0 +1,106 @@
+// EXT-G: arrangement-function ablation on reordered pipelines (1F1B).
+//
+// The paper (§4 Case II) notes that PP variants which reorder computation
+// (PipeDream-style 1F1B) still form EchelonFlows, "albeit more complicated
+// than Eq. 6". This bench compares, on a 1F1B pipeline:
+//   * analytic arrangement: Eq. 6 with steady-state distance T = t_f + t_b,
+//   * profiled arrangement: per-flow offsets measured on an infinitely fast
+//     network (the paper's profiling story, §3.1/§5),
+// plus GPipe-vs-1F1B under the EchelonFlow scheduler (the bubble shrinks).
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/pp.hpp"
+#include "workload/profiler.hpp"
+
+namespace {
+
+using namespace echelon;
+using namespace echelon::workload;
+
+struct Outcome {
+  double steady_iter = 0.0;
+  double idle = 0.0;
+  double tardiness = 0.0;
+};
+
+Outcome run(PipelineSchedule schedule, bool calibrate) {
+  auto fabric = topology::make_big_switch(4, gbps(10));
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  reg.attach(sim);
+  ef::EchelonMaddScheduler sched(&reg);
+  sim.set_scheduler(&sched);
+
+  const auto placement = make_placement(sim, fabric.hosts);
+  const auto job = generate_pipeline(
+      {.model = make_transformer(8, 4096, 512, 8),
+       .gpu = a100(),
+       .micro_batches = 6,
+       .iterations = 3,
+       .schedule = schedule},
+      placement, reg, JobId{0});
+
+  if (calibrate) {
+    const auto prof = profile_job(job, fabric.topo, placement.hosts);
+    calibrate_registry(job, prof, reg);
+  }
+
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  sim.run();
+
+  Outcome o;
+  o.steady_iter = engine.node_finish(job.iteration_end[2]) -
+                  engine.node_finish(job.iteration_end[1]);
+  double idle = 0.0;
+  for (const WorkerId w : placement.workers) {
+    idle += sim.worker(w).idle_fraction();
+  }
+  o.idle = idle / static_cast<double>(placement.workers.size());
+  o.tardiness = reg.total_tardiness();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== EXT-G: 1F1B arrangement ablation (analytic Eq. 6 vs "
+               "profiled offsets) ===\n\n";
+  Table t({"schedule", "arrangement", "steady iter (s)", "GPU idle",
+           "sum tardiness (s)"});
+  {
+    const Outcome o = run(PipelineSchedule::kGpipe, false);
+    t.add_row({"GPipe", "analytic Eq. 6", Table::num(o.steady_iter, 4),
+               Table::num(100.0 * o.idle, 1) + "%",
+               Table::num(o.tardiness, 4)});
+  }
+  {
+    const Outcome o = run(PipelineSchedule::kOneFOneB, false);
+    t.add_row({"1F1B", "analytic (T = t_f + t_b)",
+               Table::num(o.steady_iter, 4),
+               Table::num(100.0 * o.idle, 1) + "%",
+               Table::num(o.tardiness, 4)});
+  }
+  {
+    const Outcome o = run(PipelineSchedule::kOneFOneB, true);
+    t.add_row({"1F1B", "profiled offsets", Table::num(o.steady_iter, 4),
+               Table::num(100.0 * o.idle, 1) + "%",
+               Table::num(o.tardiness, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: on a *fast* network 1F1B idles less than "
+               "GPipe (verified in\ntests/test_workload.cpp at infinite "
+               "bandwidth); in this deliberately\ncomm-bound setting 1F1B's "
+               "tighter F/B interleaving puts gradient flows on\nthe "
+               "critical path of every forward slot and it loses -- a real "
+               "crossover\nflow scheduling must handle. Profiled offsets "
+               "must do no worse than the\nsteady-state analytic guess.\n";
+  return 0;
+}

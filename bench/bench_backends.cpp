@@ -1,0 +1,84 @@
+// EXT-F: backend algorithm ablation (§5's NCCL / Gloo / MPI boxes).
+//
+// The same DP-AllReduce job decomposed through the three backend algorithm
+// families -- ring (NCCL), recursive halving-doubling (Gloo, power-of-two
+// ranks), and direct all-to-all exchange (MPI) -- run under fair sharing
+// and EchelonFlow-MADD. On a non-blocking fabric all three are bandwidth-
+// comparable; the flow structure differs (step counts, per-flow sizes, who
+// talks to whom), which is what the scheduler actually sees.
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "runtime/backend.hpp"
+#include "topology/builders.hpp"
+#include "workload/paradigm.hpp"
+
+namespace {
+
+using namespace echelon;
+
+// Minimal DP iteration built directly on a Backend: compute, then one
+// all-reduce of the full gradient through the chosen algorithm.
+struct Outcome {
+  double allreduce_time = 0.0;
+  int flows = 0;
+};
+
+Outcome run(runtime::BackendKind kind, bool echelon) {
+  auto fabric = topology::make_big_switch(8, gbps(25));
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  reg.attach(sim);
+  ef::EchelonMaddScheduler sched(&reg);
+  if (echelon) sim.set_scheduler(&sched);
+
+  runtime::Backend backend(kind);
+  netsim::Workflow wf;
+  const EchelonFlowId ef = reg.create(
+      JobId{0},
+      ef::Arrangement::coflow(backend.all_reduce_cardinality(8)));
+  collective::FlowTag tag{.job = JobId{0}, .group = ef};
+  const auto h = backend.all_reduce(wf, fabric.hosts, gib(1), tag, "ar");
+
+  netsim::WorkflowEngine eng(&sim, &wf);
+  eng.launch(0.0);
+  sim.run();
+  Outcome o;
+  o.allreduce_time = eng.node_finish(h.done);
+  o.flows = static_cast<int>(h.flow_nodes.size());
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== EXT-F: all-reduce of 1 GiB across 8 ranks, per backend "
+               "algorithm ===\n\n";
+  Table t({"backend", "algorithm", "#flows", "time, fair (s)",
+           "time, echelonflow (s)"});
+  struct Row {
+    runtime::BackendKind kind;
+    const char* algo;
+  };
+  for (const Row row : {Row{runtime::BackendKind::kNccl, "ring"},
+                        Row{runtime::BackendKind::kGloo, "halving-doubling"},
+                        Row{runtime::BackendKind::kMpi, "direct exchange"}}) {
+    const Outcome fair = run(row.kind, false);
+    const Outcome ech = run(row.kind, true);
+    t.add_row({to_string(row.kind), row.algo, std::to_string(fair.flows),
+               Table::num(fair.allreduce_time, 4),
+               Table::num(ech.allreduce_time, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: ring and halving-doubling tie (both "
+               "bandwidth-optimal on a\nnon-blocking fabric); two-round direct "
+               "exchange moves the same per-rank volume; the scheduler\nchoice is "
+               "neutral for a lone Coflow-compliant collective (Property "
+               "2).\n";
+  return 0;
+}

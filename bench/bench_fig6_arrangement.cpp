@@ -1,0 +1,83 @@
+// FIG6: regenerates the paper's Fig. 6 -- the arrangement-function intuition
+// and the reference-time recalibration.
+//
+// Two consecutive EchelonFlows H = {f0, f1, f2} and H' = {f0', f1', f2'}
+// between the same pipeline-parallel worker pair. The flows of H' start
+// late (their producing computations were stalled by H's delayed flows);
+// Fig. 6b shows their ideal finish times d'_1, d'_2 set *earlier than their
+// start times* -- derived from the reference time r' rather than from when
+// the flows appear -- giving them the opportunity to catch up. The bench
+// prints starts vs ideal finishes for both EchelonFlows and shows the
+// negative slack.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+
+int main() {
+  using namespace echelon;
+
+  auto fabric = topology::make_big_switch(2, 1.0);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry registry;
+  registry.attach(sim);
+  ef::EchelonMaddScheduler sched(&registry);
+  sim.set_scheduler(&sched);
+
+  constexpr Duration kT = 1.0;  // per-micro-batch compute ("distance")
+  const EchelonFlowId h =
+      registry.create(JobId{0}, ef::Arrangement::pipeline(3, kT), "H");
+  const EchelonFlowId h2 =
+      registry.create(JobId{0}, ef::Arrangement::pipeline(3, kT), "H'");
+
+  auto post = [&](EchelonFlowId ef, int index, SimTime at, Bytes size) {
+    sim.schedule_at(at, [&, ef, index, size](netsim::Simulator& s) {
+      s.submit_flow(netsim::FlowSpec{.src = fabric.hosts[0],
+                                     .dst = fabric.hosts[1],
+                                     .size = size,
+                                     .group = ef,
+                                     .index_in_group = index});
+    });
+  };
+
+  // H: the regular echelon -- releases at 1, 2, 3 (size 2B each => delays).
+  post(h, 0, 1.0, 2.0);
+  post(h, 1, 2.0, 2.0);
+  post(h, 2, 3.0, 2.0);
+  // H': the next iteration's echelon. Because H's flows were delayed, the
+  // computations producing f1', f2' slipped: releases at 8, 10.5, 12
+  // (instead of the clean 8, 9, 10).
+  post(h2, 0, 8.0, 2.0);
+  post(h2, 1, 10.5, 1.0);
+  post(h2, 2, 12.0, 1.0);
+  sim.run();
+
+  std::cout << "=== FIG6: reference time and ideal finish times across two "
+               "EchelonFlows ===\n\n";
+  for (const EchelonFlowId id : {h, h2}) {
+    const ef::EchelonFlow& e = registry.get(id);
+    std::cout << "EchelonFlow " << e.label()
+              << "  (reference time r = " << *e.reference_time() << ")\n";
+    Table t({"flow", "start s_j", "ideal finish d_j", "d_j - s_j",
+             "actual finish", "tardiness"});
+    for (const ef::MemberFlow& m : e.members()) {
+      const double d = *e.ideal_finish(m.index);
+      t.add_row({"f" + std::to_string(m.index) + (id == h2 ? "'" : ""),
+                 Table::num(m.start_time, 2), Table::num(d, 2),
+                 Table::num(d - m.start_time, 2),
+                 Table::num(m.finish_time, 2),
+                 Table::num(*e.flow_tardiness(m.index), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "note the negative d_j - s_j on f1', f2': their ideal finish "
+               "times are\nadvanced ahead of their own start times (paper "
+               "§3.1), so the scheduler\ngrants them full catch-up bandwidth "
+               "and the echelon re-forms.\n";
+  return 0;
+}

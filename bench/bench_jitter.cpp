@@ -1,0 +1,86 @@
+// EXT-J: profiling-accuracy ablation.
+//
+// EchelonFlow "relies on accurate profiling of the computation time to
+// construct the arrangement function" (§5). This bench perturbs every
+// compute task by multiplicative jitter while the declared arrangements
+// keep the *profiled mean* durations, and measures how the scheduler's
+// advantage erodes as reality deviates from the profile.
+//
+// Expected shape: at zero jitter EchelonFlow holds its full margin over
+// Coflow; the margin narrows as jitter grows but degrades gracefully --
+// stale deadlines still encode the right *order*, so EchelonFlow should not
+// fall below fair sharing even at heavy jitter.
+
+#include <iostream>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "echelon/coflow_madd.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/pp.hpp"
+
+namespace {
+
+using namespace echelon;
+
+double run(const std::string& which, double jitter, std::uint64_t seed) {
+  auto fabric = topology::make_big_switch(4, gbps(10));
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  reg.attach(sim);
+  std::unique_ptr<netsim::NetworkScheduler> sched;
+  if (which == "coflow") {
+    sched = std::make_unique<ef::CoflowMaddScheduler>();
+  } else if (which == "echelonflow") {
+    sched = std::make_unique<ef::EchelonMaddScheduler>(&reg);
+  }
+  if (sched) sim.set_scheduler(sched.get());
+
+  const auto placement = workload::make_placement(sim, fabric.hosts);
+  const auto job = workload::generate_pipeline(
+      {.model = workload::make_transformer(8, 4096, 512, 8),
+       .gpu = workload::a100(),
+       .micro_batches = 6,
+       .iterations = 3,
+       .compute_jitter = jitter,
+       .jitter_seed = seed},
+      placement, reg, JobId{0});
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  return sim.run();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== EXT-J: arrangement accuracy vs compute jitter (PP job, "
+               "5 seeds per cell) ===\n\n";
+  Table t({"jitter", "fair (s)", "coflow (s)", "echelonflow (s)",
+           "echelon vs fair", "echelon vs coflow"});
+  for (const double jitter : {0.0, 0.05, 0.15, 0.30}) {
+    Samples fair, coflow, echelon;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      fair.add(run("fair", jitter, seed));
+      coflow.add(run("coflow", jitter, seed));
+      echelon.add(run("echelonflow", jitter, seed));
+    }
+    t.add_row({Table::num(100.0 * jitter, 0) + "%",
+               Table::num(fair.mean(), 4), Table::num(coflow.mean(), 4),
+               Table::num(echelon.mean(), 4),
+               Table::num(100.0 * (fair.mean() - echelon.mean()) /
+                              fair.mean(),
+                          1) + "%",
+               Table::num(100.0 * (coflow.mean() - echelon.mean()) /
+                              coflow.mean(),
+                          1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: the echelon margin narrows with jitter but "
+               "stays >= 0 vs fair\n(ordering knowledge survives inexact "
+               "distances).\n";
+  return 0;
+}

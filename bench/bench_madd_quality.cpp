@@ -1,0 +1,111 @@
+// EXT-B: heuristic quality of the MADD adaptation vs. the exact optimum
+// (supports Property 1).
+//
+// EchelonFlow scheduling is NP-hard (Property 3), so the paper proposes a
+// MADD-derived heuristic (Property 4). On tiny single-bottleneck instances
+// the optimum is computable by exhaustive search over priority orders; this
+// bench runs the *actual simulator + EchelonFlow-MADD scheduler* on random
+// instances and reports its max-tardiness against (a) preemptive EDF and
+// (b) the exhaustive optimum.
+//
+// Expected: ratio 1.00 on (effectively) every instance -- on one bottleneck
+// the scheduler reduces to EDF, which is optimal (Horn 1974).
+
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/exhaustive.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+
+int main() {
+  using namespace echelon;
+  using ef::MiniFlow;
+
+  constexpr int kInstances = 200;
+  Rng rng(99);
+
+  Samples ratio_vs_opt;
+  Samples ratio_edf_vs_opt;
+  int optimal_hits = 0;
+
+  for (int inst = 0; inst < kInstances; ++inst) {
+    // Random instance: 3-6 flows, one shared source->dest port pair
+    // (single bottleneck), arbitrary releases, sizes, offsets.
+    const int n = 3 + static_cast<int>(rng.uniform_int(4));
+    std::vector<MiniFlow> flows;
+    std::vector<Duration> offsets;
+    double off = 0.0;
+    std::vector<SimTime> releases;
+    for (int i = 0; i < n; ++i) {
+      MiniFlow f;
+      f.release = (i == 0 ? 0.0 : releases.back()) + rng.uniform(0.0, 2.0);
+      releases.push_back(f.release);
+      f.size = rng.uniform(0.5, 4.0);
+      offsets.push_back(off);
+      off += rng.uniform(0.0, 2.0);
+      flows.push_back(f);
+    }
+    // Deadlines anchored at the head release (reference time).
+    for (int i = 0; i < n; ++i) {
+      flows[static_cast<std::size_t>(i)].deadline =
+          flows[0].release + offsets[static_cast<std::size_t>(i)];
+    }
+
+    // (a) run the real scheduler in the simulator.
+    auto fabric = topology::make_big_switch(2, 1.0);
+    netsim::Simulator sim(&fabric.topo);
+    ef::Registry reg;
+    reg.attach(sim);
+    ef::EchelonMaddScheduler sched(&reg);
+    sim.set_scheduler(&sched);
+    const EchelonFlowId efid =
+        reg.create(JobId{0}, ef::Arrangement::from_offsets(offsets));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(flows[static_cast<std::size_t>(i)].release,
+                      [&, i](netsim::Simulator& s) {
+                        s.submit_flow(netsim::FlowSpec{
+                            .src = fabric.hosts[0],
+                            .dst = fabric.hosts[1],
+                            .size = flows[static_cast<std::size_t>(i)].size,
+                            .group = efid,
+                            .index_in_group = i});
+                      });
+    }
+    sim.run();
+    const double madd = reg.get(efid).tardiness();
+
+    // (b) EDF and (c) exhaustive optimum on the same instance.
+    const double edf =
+        ef::max_tardiness(flows, ef::simulate_edf(flows, 1.0));
+    const auto best =
+        ef::exhaustive_best(flows, 1.0, [&](const auto& finish) {
+          return ef::max_tardiness(flows, finish);
+        });
+
+    ratio_vs_opt.add(madd / std::max(best.objective, 1e-9));
+    ratio_edf_vs_opt.add(edf / std::max(best.objective, 1e-9));
+    if (madd <= best.objective + 1e-6) ++optimal_hits;
+  }
+
+  std::cout << "=== EXT-B: EchelonFlow-MADD vs exhaustive optimum ("
+            << kInstances << " random single-bottleneck instances) ===\n\n";
+  Table t({"policy", "mean ratio to optimal", "max ratio", "optimal hits"});
+  t.add_row({"echelonflow-madd (simulator)",
+             Table::num(ratio_vs_opt.mean(), 4),
+             Table::num(ratio_vs_opt.max(), 4),
+             std::to_string(optimal_hits) + "/" + std::to_string(kInstances)});
+  t.add_row({"preemptive EDF (analytic)",
+             Table::num(ratio_edf_vs_opt.mean(), 4),
+             Table::num(ratio_edf_vs_opt.max(), 4), "-"});
+  t.print(std::cout);
+  std::cout << "\nexpected: both rows at 1.0 -- the MADD adaptation reduces "
+               "to EDF on a\nsingle bottleneck, which provably minimizes "
+               "maximum tardiness.\n";
+  return 0;
+}

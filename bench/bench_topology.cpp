@@ -1,0 +1,74 @@
+// EXT-H: topology sensitivity.
+//
+// The same mixed-paradigm trace on (a) the non-blocking big switch and
+// (b) a leaf-spine fabric at oversubscription 1:1, 2:1 and 4:1, under the
+// four schedulers (incl. the per-flow SRPT baseline). Oversubscription
+// moves contention from host ports into the core, where flows of different
+// jobs collide on uplinks -- the regime where cross-job coordination (the
+// paper's whole point, §1) matters most.
+
+#include <iostream>
+
+#include "cluster/experiment.hpp"
+#include "cluster/trace.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace echelon;
+
+  cluster::TraceConfig tcfg;
+  tcfg.num_jobs = 10;
+  tcfg.seed = 1234;
+  tcfg.arrival_rate = 4.0;
+  tcfg.iterations = 2;
+  tcfg.min_width = 2048;
+  tcfg.max_width = 4096;
+  tcfg.batch = 64;
+  tcfg.rank_choices = {4, 8};
+  const auto jobs = cluster::generate_trace(tcfg);
+
+  std::cout << "=== EXT-H: topology sensitivity (" << jobs.size()
+            << " jobs, 16 hosts) ===\n\n";
+
+  struct Fabric {
+    std::string name;
+    cluster::FabricKind kind;
+    double oversub;
+  };
+  const std::vector<Fabric> fabrics = {
+      {"big switch", cluster::FabricKind::kBigSwitch, 1.0},
+      {"leaf-spine 1:1", cluster::FabricKind::kLeafSpine, 1.0},
+      {"leaf-spine 2:1", cluster::FabricKind::kLeafSpine, 2.0},
+      {"leaf-spine 4:1", cluster::FabricKind::kLeafSpine, 4.0},
+  };
+
+  for (const Fabric& fabric : fabrics) {
+    std::cout << "-- " << fabric.name << " --\n";
+    Table t({"scheduler", "mean iter (s)", "p99 iter (s)",
+             "sum tardiness (s)", "makespan (s)"});
+    for (const auto kind : {cluster::SchedulerKind::kFairSharing,
+                            cluster::SchedulerKind::kSrpt,
+                            cluster::SchedulerKind::kCoflowMadd,
+                            cluster::SchedulerKind::kEchelonMadd}) {
+      cluster::ExperimentConfig cfg;
+      cfg.scheduler = kind;
+      cfg.fabric = fabric.kind;
+      cfg.oversubscription = fabric.oversub;
+      cfg.hosts = 16;
+      cfg.port_capacity = gbps(25);
+      const auto r = cluster::run_experiment(jobs, cfg);
+      const auto iters = r.iteration_samples();
+      t.add_row({std::string(cluster::to_string(kind)),
+                 Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),
+                 Table::num(r.total_tardiness, 3),
+                 Table::num(r.makespan, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "expected shape: scheduler gaps grow with oversubscription "
+               "(more core\ncontention to arbitrate); echelonflow-madd "
+               "lowest tardiness everywhere;\nsrpt decent on mean but "
+               "application-blind, so it starves late echelon members.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the benchmark binaries: run a single generated job
+// under a named scheduler and collect timing/tardiness/idleness.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "echelon/coflow_madd.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/paradigm.hpp"
+
+namespace echelon::benchutil {
+
+struct SingleJobResult {
+  std::vector<SimTime> iteration_finish;
+  SimTime makespan = 0.0;
+  double total_tardiness = 0.0;
+  double mean_idle_fraction = 0.0;
+
+  [[nodiscard]] Duration steady_iteration() const {
+    if (iteration_finish.size() < 2) {
+      return iteration_finish.empty() ? 0.0 : iteration_finish[0];
+    }
+    return iteration_finish.back() -
+           iteration_finish[iteration_finish.size() - 2];
+  }
+};
+
+// `generate` builds the job against the provided simulator/placement/
+// registry; the helper wires the selected scheduler ("fair", "coflow",
+// "echelonflow") and runs to quiescence.
+inline SingleJobResult run_single_job(
+    const std::string& scheduler, int hosts, BytesPerSec port_capacity,
+    const std::function<workload::GeneratedJob(
+        netsim::Simulator&, const workload::Placement&, ef::Registry&)>&
+        generate) {
+  auto fabric = topology::make_big_switch(hosts, port_capacity);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry registry;
+  registry.attach(sim);
+
+  std::unique_ptr<netsim::NetworkScheduler> sched;
+  if (scheduler == "coflow") {
+    sched = std::make_unique<ef::CoflowMaddScheduler>();
+  } else if (scheduler == "echelonflow") {
+    sched = std::make_unique<ef::EchelonMaddScheduler>(&registry);
+  }
+  if (sched) sim.set_scheduler(sched.get());
+
+  const auto placement = workload::make_placement(sim, fabric.hosts);
+  const workload::GeneratedJob job = generate(sim, placement, registry);
+
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  SingleJobResult r;
+  r.makespan = sim.run();
+  for (const netsim::WfNodeId n : job.iteration_end) {
+    r.iteration_finish.push_back(engine.node_finish(n));
+  }
+  r.total_tardiness = registry.total_tardiness();
+  double idle = 0.0;
+  for (const WorkerId w : placement.workers) {
+    idle += sim.worker(w).idle_fraction();
+  }
+  r.mean_idle_fraction =
+      placement.workers.empty()
+          ? 0.0
+          : idle / static_cast<double>(placement.workers.size());
+  return r;
+}
+
+}  // namespace echelon::benchutil

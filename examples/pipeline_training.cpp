@@ -1,0 +1,89 @@
+// Example: a GPipe pipeline-parallel training job on a shared fabric,
+// comparing fair sharing, Coflow-MADD and EchelonFlow-MADD end to end.
+//
+// This is the workload the paper's introduction motivates: a 4-stage
+// pipeline whose per-micro-batch activation transfers must finish staggered
+// to keep the GPUs busy. The example prints per-scheduler iteration times
+// and GPU idleness ("bubble") so the effect of the network abstraction on
+// training throughput is directly visible.
+//
+// Run: ./pipeline_training
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "echelon/coflow_madd.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/pp.hpp"
+
+namespace {
+
+struct Result {
+  double iteration_time = 0.0;
+  double idle_fraction = 0.0;
+  double tardiness = 0.0;
+};
+
+Result run_with(const std::string& which) {
+  using namespace echelon;
+  constexpr int kStages = 4;
+  auto fabric = topology::make_big_switch(kStages, gbps(10));
+  netsim::Simulator sim(&fabric.topo);
+
+  ef::Registry registry;
+  registry.attach(sim);
+  std::unique_ptr<netsim::NetworkScheduler> sched;
+  if (which == "coflow") {
+    sched = std::make_unique<ef::CoflowMaddScheduler>();
+  } else if (which == "echelonflow") {
+    sched = std::make_unique<ef::EchelonMaddScheduler>(&registry);
+  }  // "fair": leave the default
+  if (sched) sim.set_scheduler(sched.get());
+
+  const auto placement = workload::make_placement(sim, fabric.hosts);
+  // A transformer sliced into 4 stages; big activations make the network
+  // matter at 10 Gb/s.
+  const auto job = workload::generate_pipeline(
+      {.model = workload::make_transformer(8, 4096, 512, 8),
+       .gpu = workload::a100(),
+       .micro_batches = 6,
+       .iterations = 2},
+      placement, registry, JobId{0});
+
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  sim.run();
+
+  Result r;
+  const SimTime first = engine.node_finish(job.iteration_end[0]);
+  const SimTime second = engine.node_finish(job.iteration_end[1]);
+  r.iteration_time = second - first;  // steady-state iteration
+  double idle = 0.0;
+  for (const WorkerId w : placement.workers) {
+    idle += sim.worker(w).idle_fraction();
+  }
+  r.idle_fraction = idle / static_cast<double>(placement.workers.size());
+  r.tardiness = registry.total_tardiness();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  echelon::Table table(
+      {"scheduler", "iteration time (s)", "GPU idle", "sum tardiness (s)"});
+  for (const std::string which : {"fair", "coflow", "echelonflow"}) {
+    const Result r = run_with(which);
+    table.add_row({which, echelon::Table::num(r.iteration_time, 4),
+                   echelon::Table::num(100.0 * r.idle_fraction, 1) + "%",
+                   echelon::Table::num(r.tardiness, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEchelonFlow keeps the pipeline's staggered deadlines, so the"
+               "\nbubble (GPU idleness) and iteration time drop relative to"
+               "\nCoflow, which forces simultaneous finishes.\n";
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "cluster/experiment.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <memory>
+
+#include "echelon/coflow_madd.hpp"
+#include "echelon/srpt.hpp"
+#include "netsim/workflow.hpp"
+#include "runtime/priority_queue.hpp"
+#include "topology/builders.hpp"
+#include "workload/dp.hpp"
+#include "workload/ep.hpp"
+#include "workload/fsdp.hpp"
+#include "workload/tp.hpp"
+
+namespace echelon::cluster {
+
+namespace {
+
+struct LiveJob {
+  JobSpec spec;
+  workload::GeneratedJob generated;
+  std::vector<WorkerId> workers;
+  std::unique_ptr<netsim::WorkflowEngine> engine;
+};
+
+workload::GeneratedJob generate(const JobSpec& spec,
+                                const workload::Placement& placement,
+                                NodeId ps_host, WorkerId ps_worker,
+                                ef::Registry& registry, JobId id) {
+  using workload::Paradigm;
+  switch (spec.paradigm) {
+    case Paradigm::kDpAllReduce:
+      return workload::generate_dp_allreduce(
+          {.model = spec.model,
+           .gpu = spec.gpu,
+           .buckets = spec.buckets,
+           .iterations = spec.iterations},
+          placement, registry, id);
+    case Paradigm::kDpPs:
+      return workload::generate_dp_ps({.model = spec.model,
+                                       .gpu = spec.gpu,
+                                       .buckets = spec.buckets,
+                                       .iterations = spec.iterations},
+                                      placement, ps_host, ps_worker, registry,
+                                      id);
+    case Paradigm::kPipeline:
+      return workload::generate_pipeline({.model = spec.model,
+                                          .gpu = spec.gpu,
+                                          .micro_batches = spec.micro_batches,
+                                          .iterations = spec.iterations,
+                                          .schedule = spec.pp_schedule},
+                                         placement, registry, id);
+    case Paradigm::kTensor:
+      return workload::generate_tensor({.model = spec.model,
+                                        .gpu = spec.gpu,
+                                        .iterations = spec.iterations},
+                                       placement, registry, id);
+    case Paradigm::kFsdp:
+      return workload::generate_fsdp({.model = spec.model,
+                                      .gpu = spec.gpu,
+                                      .iterations = spec.iterations},
+                                     placement, registry, id);
+    case Paradigm::kExpert:
+      return workload::generate_expert({.model = spec.model,
+                                        .gpu = spec.gpu,
+                                        .iterations = spec.iterations},
+                                       placement, registry, id);
+  }
+  assert(false && "unknown paradigm");
+  return {};
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
+                                const ExperimentConfig& config) {
+  assert(config.hosts >= 2);
+  topology::BuiltFabric fabric;
+  if (config.fabric == FabricKind::kBigSwitch) {
+    fabric = topology::make_big_switch(config.hosts, config.port_capacity);
+  } else {
+    const int hosts_per_leaf = 8;
+    const int leaves = std::max(1, config.hosts / hosts_per_leaf);
+    const int spines = 2;
+    fabric = topology::make_leaf_spine(
+        {.leaves = leaves,
+         .spines = spines,
+         .hosts_per_leaf = hosts_per_leaf,
+         .host_link = config.port_capacity,
+         .uplink = hosts_per_leaf * config.port_capacity /
+                   (spines * config.oversubscription)});
+  }
+  netsim::Simulator sim(&fabric.topo);
+
+  // Scheduler stack. The coordinator owns its registry; other schedulers
+  // share a standalone one (attached for tardiness measurement either way).
+  ef::Registry standalone_registry;
+  std::unique_ptr<runtime::Coordinator> coordinator;
+  std::unique_ptr<netsim::NetworkScheduler> policy;
+  ef::Registry* registry = &standalone_registry;
+
+  switch (config.scheduler) {
+    case SchedulerKind::kFairSharing:
+      policy = std::make_unique<netsim::FairSharingScheduler>();
+      standalone_registry.attach(sim);
+      break;
+    case SchedulerKind::kSrpt:
+      policy = std::make_unique<ef::SrptScheduler>();
+      standalone_registry.attach(sim);
+      break;
+    case SchedulerKind::kCoflowMadd:
+      policy = std::make_unique<ef::CoflowMaddScheduler>(
+          ef::CoflowMaddConfig{.work_conserving =
+                                   config.coflow_work_conserving});
+      standalone_registry.attach(sim);
+      break;
+    case SchedulerKind::kEchelonMadd:
+      policy = std::make_unique<ef::EchelonMaddScheduler>(&standalone_registry,
+                                                          config.echelon);
+      standalone_registry.attach(sim);
+      break;
+    case SchedulerKind::kCoordinator:
+      coordinator = std::make_unique<runtime::Coordinator>(
+          &sim, config.coordinator);
+      registry = &coordinator->registry();
+      break;
+  }
+
+  netsim::NetworkScheduler* scheduler =
+      coordinator ? static_cast<netsim::NetworkScheduler*>(coordinator.get())
+                  : policy.get();
+  std::unique_ptr<runtime::PriorityQueueEnforcer> pq;
+  if (config.priority_queues > 0) {
+    pq = std::make_unique<runtime::PriorityQueueEnforcer>(
+        scheduler,
+        runtime::PriorityQueueConfig{.num_queues = config.priority_queues});
+    scheduler = pq.get();
+  }
+  sim.set_scheduler(scheduler);
+
+  // Place and generate every job. Ranks are packed onto consecutive ports
+  // (wrapping), so jobs share ports once the cluster is loaded.
+  std::vector<LiveJob> live;
+  live.reserve(jobs.size());
+  std::size_t next_host = 0;
+  const std::size_t H = fabric.hosts.size();
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobSpec& spec = jobs[j];
+    assert(static_cast<std::size_t>(spec.ranks) <= H &&
+           "job does not fit the cluster");
+
+    std::vector<NodeId> job_hosts;
+    job_hosts.reserve(static_cast<std::size_t>(spec.ranks));
+    for (int r = 0; r < spec.ranks; ++r) {
+      job_hosts.push_back(fabric.hosts[(next_host + r) % H]);
+    }
+    const workload::Placement placement = workload::make_placement(
+        sim, job_hosts, "j" + std::to_string(j) + ".");
+
+    NodeId ps_host;
+    WorkerId ps_worker;
+    std::size_t consumed = static_cast<std::size_t>(spec.ranks);
+    if (spec.paradigm == workload::Paradigm::kDpPs) {
+      ps_host = fabric.hosts[(next_host + consumed) % H];
+      ps_worker = sim.add_worker(ps_host, "j" + std::to_string(j) + ".ps");
+      ++consumed;
+    }
+    next_host = (next_host + consumed) % H;
+
+    LiveJob lj{.spec = spec};
+    lj.generated =
+        generate(spec, placement, ps_host, ps_worker, *registry, JobId{j});
+    lj.workers = placement.workers;
+    if (ps_worker.valid()) lj.workers.push_back(ps_worker);
+    live.push_back(std::move(lj));
+  }
+
+  // Launch at arrival times and run to quiescence.
+  for (LiveJob& lj : live) {
+    lj.engine =
+        std::make_unique<netsim::WorkflowEngine>(&sim, &lj.generated.workflow);
+    lj.engine->launch(lj.spec.arrival);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SimTime end = sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // Collect metrics.
+  ExperimentResult result;
+  result.scheduler_name = scheduler->name();
+  result.makespan = end;
+  result.total_tardiness = registry->total_tardiness();
+  result.weighted_total_tardiness = registry->weighted_total_tardiness();
+  result.control_invocations = sim.control_invocations();
+  if (coordinator) {
+    result.heuristic_runs = coordinator->heuristic_runs();
+    result.reuse_hits = coordinator->reuse_hits();
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
+                                                             wall_start)
+                       .count();
+
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    const LiveJob& lj = live[j];
+    assert(lj.engine->finished() && "job did not complete");
+    JobMetrics jm;
+    jm.job = JobId{j};
+    jm.paradigm = lj.spec.paradigm;
+    jm.description = lj.generated.description;
+    jm.arrival = lj.spec.arrival;
+
+    SimTime prev = lj.spec.arrival;
+    for (const netsim::WfNodeId node : lj.generated.iteration_end) {
+      const SimTime t = lj.engine->node_finish(node);
+      jm.iteration_times.push_back(t - prev);
+      prev = t;
+    }
+    jm.finish = prev;
+
+    double idle = 0.0;
+    for (const WorkerId w : lj.workers) {
+      idle += sim.worker(w).idle_fraction();
+    }
+    jm.mean_gpu_idle_fraction =
+        lj.workers.empty() ? 0.0 : idle / static_cast<double>(lj.workers.size());
+    result.jobs.push_back(std::move(jm));
+  }
+  return result;
+}
+
+}  // namespace echelon::cluster

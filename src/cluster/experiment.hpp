@@ -1,0 +1,66 @@
+// Cluster experiment runner: places jobs on a shared fabric, runs them under
+// a chosen network scheduler, and collects the metrics every bench reports.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/metrics.hpp"
+#include "common/units.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace echelon::cluster {
+
+enum class SchedulerKind {
+  kFairSharing,
+  kSrpt,         // pFabric-style per-flow shortest-remaining-first
+  kCoflowMadd,
+  kEchelonMadd,
+  kCoordinator,  // EchelonFlow-MADD behind the runtime Coordinator
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulerKind k) noexcept {
+  switch (k) {
+    case SchedulerKind::kFairSharing: return "fair";
+    case SchedulerKind::kSrpt: return "srpt";
+    case SchedulerKind::kCoflowMadd: return "coflow-madd";
+    case SchedulerKind::kEchelonMadd: return "echelonflow-madd";
+    case SchedulerKind::kCoordinator: return "coordinator";
+  }
+  return "?";
+}
+
+enum class FabricKind {
+  kBigSwitch,  // non-blocking crossbar (Coflow-literature default)
+  kLeafSpine,  // two-tier Clos; oversubscription makes the core contend
+};
+
+struct ExperimentConfig {
+  SchedulerKind scheduler = SchedulerKind::kEchelonMadd;
+
+  // Fabric: `hosts` ports of `port_capacity` each. Jobs are packed
+  // rank-by-rank starting at consecutive offsets, so ports are shared
+  // between jobs whenever sum(ranks) > hosts (GPU fragmentation, paper §5).
+  FabricKind fabric = FabricKind::kBigSwitch;
+  int hosts = 16;
+  BytesPerSec port_capacity = gbps(100);
+  // Leaf-spine only: hosts-per-leaf / uplink oversubscription ratio; the
+  // fabric gets hosts/8 leaves of 8 hosts and 2 spines whose uplinks carry
+  // 8 * port_capacity / (2 * oversubscription) each.
+  double oversubscription = 1.0;
+
+  // Scheduler knobs.
+  ef::EchelonMaddConfig echelon;
+  bool coflow_work_conserving = true;
+  runtime::CoordinatorConfig coordinator;
+
+  // Wrap the policy in K-queue priority enforcement (0 = exact rates).
+  int priority_queues = 0;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
+                                              const ExperimentConfig& config);
+
+}  // namespace echelon::cluster

@@ -1,0 +1,33 @@
+// Multi-tenant cluster job model.
+
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "workload/paradigm.hpp"
+#include "workload/pp.hpp"
+
+namespace echelon::cluster {
+
+struct JobSpec {
+  workload::Paradigm paradigm = workload::Paradigm::kDpAllReduce;
+  workload::ModelSpec model;
+  workload::GpuSpec gpu;
+  int ranks = 4;
+  int iterations = 2;
+  SimTime arrival = 0.0;
+
+  // Paradigm-specific knobs (ignored where not applicable).
+  int buckets = 4;                       // DP / DP-PS
+  int micro_batches = 4;                 // PP
+  workload::PipelineSchedule pp_schedule =
+      workload::PipelineSchedule::kGpipe;
+
+  [[nodiscard]] std::string describe() const {
+    return std::string(workload::to_string(paradigm)) + "/" + model.name +
+           "/x" + std::to_string(ranks);
+  }
+};
+
+}  // namespace echelon::cluster

@@ -1,0 +1,66 @@
+// Experiment result types.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "workload/paradigm.hpp"
+
+namespace echelon::cluster {
+
+struct JobMetrics {
+  JobId job;
+  workload::Paradigm paradigm = workload::Paradigm::kDpAllReduce;
+  std::string description;
+  SimTime arrival = 0.0;
+  SimTime finish = 0.0;
+  std::vector<Duration> iteration_times;
+  double mean_gpu_idle_fraction = 0.0;
+
+  [[nodiscard]] Duration jct() const noexcept { return finish - arrival; }
+  [[nodiscard]] Duration mean_iteration_time() const noexcept {
+    if (iteration_times.empty()) return 0.0;
+    Duration s = 0.0;
+    for (Duration t : iteration_times) s += t;
+    return s / static_cast<double>(iteration_times.size());
+  }
+};
+
+struct ExperimentResult {
+  std::string scheduler_name;
+  std::vector<JobMetrics> jobs;
+
+  // Objective values from the registry (Eqs. 3/4).
+  Duration total_tardiness = 0.0;
+  Duration weighted_total_tardiness = 0.0;
+
+  // Control-plane cost.
+  std::uint64_t control_invocations = 0;
+  std::uint64_t heuristic_runs = 0;   // coordinator only; 0 otherwise
+  std::uint64_t reuse_hits = 0;       // coordinator only
+  double wall_ms = 0.0;               // host-side runtime of the simulation
+
+  SimTime makespan = 0.0;
+
+  [[nodiscard]] Samples jct_samples() const {
+    Samples s;
+    for (const JobMetrics& j : jobs) s.add(j.jct());
+    return s;
+  }
+  [[nodiscard]] Samples iteration_samples() const {
+    Samples s;
+    for (const JobMetrics& j : jobs) s.add_all(j.iteration_times);
+    return s;
+  }
+  [[nodiscard]] double mean_idle_fraction() const {
+    if (jobs.empty()) return 0.0;
+    double s = 0.0;
+    for (const JobMetrics& j : jobs) s += j.mean_gpu_idle_fraction;
+    return s / static_cast<double>(jobs.size());
+  }
+};
+
+}  // namespace echelon::cluster

@@ -1,0 +1,62 @@
+#include "cluster/trace.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace echelon::cluster {
+
+namespace {
+
+workload::Paradigm sample_paradigm(const std::vector<double>& weights,
+                                   Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return static_cast<workload::Paradigm>(i);
+  }
+  return workload::Paradigm::kDpAllReduce;
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_trace(const TraceConfig& cfg) {
+  assert(cfg.num_jobs >= 1);
+  assert(cfg.paradigm_weights.size() == 6);
+  Rng rng(cfg.seed);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(cfg.num_jobs));
+  SimTime clock = 0.0;
+  for (int j = 0; j < cfg.num_jobs; ++j) {
+    JobSpec spec;
+    spec.paradigm = sample_paradigm(cfg.paradigm_weights, rng);
+    spec.ranks = cfg.rank_choices[rng.uniform_int(cfg.rank_choices.size())];
+
+    const int layers = cfg.min_layers +
+                       static_cast<int>(rng.uniform_int(
+                           static_cast<std::uint64_t>(cfg.max_layers -
+                                                      cfg.min_layers + 1)));
+    // Log-uniform width in [min_width, max_width].
+    const double lw = rng.uniform(std::log(double(cfg.min_width)),
+                                  std::log(double(cfg.max_width)));
+    const int width = static_cast<int>(std::exp(lw));
+
+    // Pipeline stages consume one layer minimum each; ensure enough layers.
+    const int eff_layers = spec.paradigm == workload::Paradigm::kPipeline
+                               ? std::max(layers, spec.ranks)
+                               : layers;
+    spec.model = workload::make_mlp(eff_layers, width, cfg.batch);
+    spec.gpu = cfg.gpu;
+    spec.iterations = cfg.iterations;
+    spec.buckets = std::min(4, eff_layers);
+    spec.micro_batches = 4;
+    spec.arrival = clock;
+    clock += rng.exponential(cfg.arrival_rate);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace echelon::cluster

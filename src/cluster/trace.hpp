@@ -1,0 +1,44 @@
+// Synthetic multi-tenant trace generation.
+//
+// Substitutes for the production GPU-cluster traces the paper's evaluation
+// would have used (see DESIGN.md): Poisson job arrivals, a configurable
+// paradigm mix, and log-normal-ish model-size variation. The contention
+// structure -- many jobs with heterogeneous communication patterns sharing
+// ports -- is what the scheduling comparison depends on, and the generator
+// reproduces it deterministically from a seed.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cluster/job.hpp"
+
+namespace echelon::cluster {
+
+struct TraceConfig {
+  int num_jobs = 10;
+  double arrival_rate = 0.5;  // jobs per second (Poisson)
+  std::uint64_t seed = 42;
+
+  // Paradigm mix: relative weights, same order as workload::Paradigm.
+  // Default: DP-heavy, as in production clusters.
+  std::vector<double> paradigm_weights = {4.0, 2.0, 2.0, 1.0, 2.0, 1.0};
+
+  // Rank-count choices, sampled uniformly.
+  std::vector<int> rank_choices = {2, 4, 8};
+
+  // Model scale: layers uniform in [min,max]; width log-uniform-ish.
+  int min_layers = 4;
+  int max_layers = 12;
+  int min_width = 1024;
+  int max_width = 4096;
+  int batch = 32;
+
+  int iterations = 2;
+  workload::GpuSpec gpu = workload::a100();
+};
+
+[[nodiscard]] std::vector<JobSpec> generate_trace(const TraceConfig& cfg);
+
+}  // namespace echelon::cluster

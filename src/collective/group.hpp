@@ -1,0 +1,52 @@
+// Shared types for collective-operation decomposition.
+//
+// Each collective primitive (ring all-reduce, all-gather, PS push/pull, ...)
+// expands into a fragment of a netsim::Workflow: a `start` barrier, the
+// constituent flows with their internal dependencies, and a `done` barrier.
+// Callers chain fragments by adding edges to/from the barriers.
+
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "netsim/workflow.hpp"
+
+namespace echelon::collective {
+
+struct CollectiveHandles {
+  netsim::WfNodeId start = 0;  // released when the collective may begin
+  netsim::WfNodeId done = 0;   // completes when every flow has finished
+  std::vector<netsim::WfNodeId> flow_nodes;
+};
+
+// Tag stamped on every flow a collective emits, identifying the owning
+// job and EchelonFlow group. `next_index` advances per emitted flow so each
+// flow has a unique position within its group.
+struct FlowTag {
+  JobId job;
+  EchelonFlowId group;
+  int next_index = 0;
+
+  // Base for FlowSpec::signature: flow j gets signature_base + j, giving a
+  // structural identity stable across training iterations (generators derive
+  // the base from job id and the EchelonFlow's ordinal *within* the
+  // iteration). 0 disables signatures.
+  std::uint64_t signature_base = 0;
+
+  // Stamps job/group/index/signature onto a flow spec and advances the
+  // index. Collective helpers call this once per emitted flow.
+  void stamp(netsim::FlowSpec& spec) noexcept {
+    spec.job = job;
+    spec.group = group;
+    spec.index_in_group = next_index;
+    spec.signature =
+        signature_base == 0
+            ? 0
+            : signature_base + static_cast<std::uint64_t>(next_index);
+    ++next_index;
+  }
+};
+
+}  // namespace echelon::collective

@@ -1,0 +1,44 @@
+// Recursive halving-doubling collectives (the MPI "Rabenseifner" family).
+//
+// For power-of-two rank counts these run in log2(m) rounds instead of the
+// ring's m-1 steps, trading step count for larger per-step transfers:
+//   * reduce-scatter by recursive halving: round k exchanges data/2^(k+1)
+//     with the partner at distance m/2^(k+1).
+//   * all-gather by recursive doubling: round k exchanges data*2^k/m with
+//     the partner at distance 2^k.
+// Total bytes per rank match the ring ((m-1)/m * data per phase); the flow
+// *structure* differs, which is exactly what scheduler comparisons across
+// backends need.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+
+namespace echelon::collective {
+
+// Preconditions: hosts.size() is a power of two >= 2.
+CollectiveHandles hd_reduce_scatter(netsim::Workflow& wf,
+                                    const std::vector<NodeId>& hosts,
+                                    Bytes data_bytes, FlowTag& tag,
+                                    const std::string& label);
+
+CollectiveHandles hd_all_gather(netsim::Workflow& wf,
+                                const std::vector<NodeId>& hosts,
+                                Bytes data_bytes, FlowTag& tag,
+                                const std::string& label);
+
+// Halving-doubling all-reduce: reduce-scatter then all-gather, 2*log2(m)
+// rounds.
+CollectiveHandles hd_all_reduce(netsim::Workflow& wf,
+                                const std::vector<NodeId>& hosts,
+                                Bytes data_bytes, FlowTag& tag,
+                                const std::string& label);
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+}  // namespace echelon::collective

@@ -1,0 +1,24 @@
+// Point-to-point transfer (pipeline-parallel activation/gradient exchange)
+// and all-to-all (expert-parallel style shuffles; also a direct model of the
+// paper's "all-to-all flows in each all-reduce" view for TP).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+
+namespace echelon::collective {
+
+// Single src -> dst transfer wrapped in the standard handle shape.
+CollectiveHandles p2p(netsim::Workflow& wf, NodeId src, NodeId dst,
+                      Bytes bytes, FlowTag& tag, const std::string& label);
+
+// Every ordered pair (i, j), i != j, exchanges `bytes_per_pair`.
+CollectiveHandles all_to_all(netsim::Workflow& wf,
+                             const std::vector<NodeId>& hosts,
+                             Bytes bytes_per_pair, FlowTag& tag,
+                             const std::string& label);
+
+}  // namespace echelon::collective

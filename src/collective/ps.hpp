@@ -1,0 +1,26 @@
+// Parameter-server communication: gradient push and model pull (Fig. 4b).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+
+namespace echelon::collective {
+
+// Every worker pushes `grad_bytes` of gradients to the PS node. The flows
+// form one Coflow: aggregation proceeds only once all pushes land.
+CollectiveHandles ps_push(netsim::Workflow& wf,
+                          const std::vector<NodeId>& workers, NodeId ps,
+                          Bytes grad_bytes, FlowTag& tag,
+                          const std::string& label);
+
+// The PS sends the updated model (`model_bytes`) to every worker; the next
+// iteration starts only when all pulls complete -- another Coflow.
+CollectiveHandles ps_pull(netsim::Workflow& wf,
+                          const std::vector<NodeId>& workers, NodeId ps,
+                          Bytes model_bytes, FlowTag& tag,
+                          const std::string& label);
+
+}  // namespace echelon::collective

@@ -1,0 +1,37 @@
+// Ring collectives: reduce-scatter, all-gather, all-reduce.
+//
+// Faithful to the MPI/NCCL ring algorithm the paper describes (§2.1): for an
+// m-worker ring each operation has m-1 steps, each step carrying m
+// concurrent transfers of `data_bytes / m` along the ring. A node can only
+// forward a chunk in step s+1 after receiving it in step s, so flow
+// (s+1, sender i) depends on flow (s, sender i-1 mod m).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+
+namespace echelon::collective {
+
+// Reduce-scatter over `hosts` (ring order = vector order), reducing
+// `data_bytes` of gradient state. Emits (m-1)*m flows of size data_bytes/m.
+CollectiveHandles ring_reduce_scatter(netsim::Workflow& wf,
+                                      const std::vector<NodeId>& hosts,
+                                      Bytes data_bytes, FlowTag& tag,
+                                      const std::string& label);
+
+// All-gather: identical flow structure, gathering instead of reducing.
+CollectiveHandles ring_all_gather(netsim::Workflow& wf,
+                                  const std::vector<NodeId>& hosts,
+                                  Bytes data_bytes, FlowTag& tag,
+                                  const std::string& label);
+
+// All-reduce = reduce-scatter followed by all-gather (2(m-1) steps).
+CollectiveHandles ring_all_reduce(netsim::Workflow& wf,
+                                  const std::vector<NodeId>& hosts,
+                                  Bytes data_bytes, FlowTag& tag,
+                                  const std::string& label);
+
+}  // namespace echelon::collective

@@ -1,0 +1,29 @@
+// Binomial-tree collectives: broadcast and reduce.
+//
+// Used by PS-style model distribution at scale and by tree-mode NCCL.
+// log2(m) rounds; in broadcast round k, every rank that already holds the
+// data forwards the full payload to the rank at distance 2^k (reduce is the
+// mirror image toward the root). Rank 0 is the root.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+
+namespace echelon::collective {
+
+// Root (hosts[0]) sends `data_bytes` to everyone via a binomial tree.
+CollectiveHandles tree_broadcast(netsim::Workflow& wf,
+                                 const std::vector<NodeId>& hosts,
+                                 Bytes data_bytes, FlowTag& tag,
+                                 const std::string& label);
+
+// Everyone's `data_bytes` are reduced onto the root (hosts[0]).
+CollectiveHandles tree_reduce(netsim::Workflow& wf,
+                              const std::vector<NodeId>& hosts,
+                              Bytes data_bytes, FlowTag& tag,
+                              const std::string& label);
+
+}  // namespace echelon::collective

@@ -1,0 +1,72 @@
+// Minimal CSV emission for experiment results (plot-friendly output).
+//
+// Quotes fields only when needed (comma, quote, newline); doubles are
+// written with full round-trip precision so downstream analysis is exact.
+
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace echelon {
+
+class Csv {
+ public:
+  explicit Csv(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Csv& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  [[nodiscard]] static std::string num(double v) {
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    return os.str();
+  }
+
+  void write(std::ostream& os) const {
+    write_row(os, header_);
+    for (const auto& row : rows_) write_row(os, row);
+  }
+
+  // Returns false when the file cannot be opened.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    write(f);
+    return f.good();
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  static void write_row(std::ostream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace echelon

@@ -1,0 +1,96 @@
+// Strong identifier types used across the EchelonFlow libraries.
+//
+// Every entity in the simulator (node, link, flow, job, ...) is referred to
+// by a small integral id. Using a distinct C++ type per entity kind prevents
+// accidentally passing, say, a FlowId where a NodeId is expected -- a class
+// of bug that plain `int` ids invite (C++ Core Guidelines I.4: make
+// interfaces precisely and strongly typed).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace echelon {
+
+// A strongly-typed integral identifier. `Tag` is an empty struct that only
+// serves to make different instantiations distinct types.
+template <typename Tag>
+class TaggedId {
+ public:
+  using value_type = std::uint64_t;
+
+  // The default-constructed id is invalid; ids handed out by factories start
+  // at 0 and grow monotonically.
+  constexpr TaggedId() noexcept = default;
+  constexpr explicit TaggedId(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  [[nodiscard]] static constexpr TaggedId invalid() noexcept {
+    return TaggedId{};
+  }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) noexcept = default;
+  friend constexpr auto operator<=>(TaggedId, TaggedId) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct TaskTag {};
+struct JobTag {};
+struct EchelonFlowTag {};
+struct CoflowTag {};
+struct WorkerTag {};
+
+using NodeId = TaggedId<NodeTag>;
+using LinkId = TaggedId<LinkTag>;
+using FlowId = TaggedId<FlowTag>;
+using TaskId = TaggedId<TaskTag>;
+using JobId = TaggedId<JobTag>;
+using EchelonFlowId = TaggedId<EchelonFlowTag>;
+using CoflowId = TaggedId<CoflowTag>;
+using WorkerId = TaggedId<WorkerTag>;
+
+// Monotonic id factory. Not thread-safe by design: the simulator is
+// single-threaded and determinism matters more than concurrency here.
+template <typename Id>
+class IdAllocator {
+ public:
+  [[nodiscard]] Id next() noexcept { return Id{next_++}; }
+  [[nodiscard]] typename Id::value_type count() const noexcept {
+    return next_;
+  }
+  void reset() noexcept { next_ = 0; }
+
+ private:
+  typename Id::value_type next_ = 0;
+};
+
+}  // namespace echelon
+
+namespace std {
+template <typename Tag>
+struct hash<echelon::TaggedId<Tag>> {
+  size_t operator()(echelon::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

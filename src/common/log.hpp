@@ -1,0 +1,74 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and single-threaded; logging exists for
+// debugging experiment runs, defaults to warnings-only, and is controlled
+// globally. No allocation happens when a message is filtered out.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace echelon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+inline LogLevel& global_level() noexcept {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::global_level() = level;
+}
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return level >= log_detail::global_level();
+}
+
+// Streamed log statement that only evaluates its arguments when enabled:
+//   ECHELON_LOG(kInfo) << "flow " << id << " finished at " << t;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level, std::string_view tag) {
+    os_ << '[' << tag << "] ";
+    (void)level;
+  }
+  ~LogLine() { std::cerr << os_.str() << '\n'; }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
+namespace log_detail {
+constexpr std::string_view tag_for(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace log_detail
+
+#define ECHELON_LOG(level)                                            \
+  if (!::echelon::log_enabled(::echelon::LogLevel::level)) {          \
+  } else                                                              \
+    ::echelon::LogLine(::echelon::LogLevel::level,                    \
+                       ::echelon::log_detail::tag_for(                \
+                           ::echelon::LogLevel::level))
+
+}  // namespace echelon

@@ -1,0 +1,98 @@
+// Streaming and batch summary statistics for experiment reporting.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace echelon {
+
+// Welford's online algorithm: numerically stable running mean/variance
+// without storing samples. Used for hot-path metrics (per-flow rates).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch statistics with percentiles. Stores samples; use for per-experiment
+// result vectors (job completion times, tardiness values), not hot paths.
+class Samples {
+ public:
+  void add(double x) { data_.push_back(x); }
+  void add_all(const std::vector<double>& xs) {
+    data_.insert(data_.end(), xs.begin(), xs.end());
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  [[nodiscard]] double sum() const noexcept {
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s;
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    return data_.empty() ? 0.0 : *std::min_element(data_.begin(), data_.end());
+  }
+
+  [[nodiscard]] double max() const noexcept {
+    return data_.empty() ? 0.0 : *std::max_element(data_.begin(), data_.end());
+  }
+
+  // Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (data_.empty()) return 0.0;
+    std::vector<double> sorted = data_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace echelon

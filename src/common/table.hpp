@@ -1,0 +1,67 @@
+// Plain-text table rendering for benchmark and experiment output.
+//
+// Benchmarks must print the same rows/series the paper reports; this renderer
+// produces aligned, pipe-delimited tables that are diffable and readable in a
+// terminal log.
+
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace echelon {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Convenience: format a double with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string sep = "|";
+    for (std::size_t w : widths) sep += std::string(w + 2, '-') + "|";
+    os << sep << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace echelon

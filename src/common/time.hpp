@@ -1,0 +1,39 @@
+// Simulation time.
+//
+// Simulated time is a double measured in seconds. Flow-level simulation
+// produces event times from divisions (remaining_bytes / rate), so exact
+// integer arithmetic is impossible; instead we standardize the tolerance used
+// when comparing times throughout the codebase.
+
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace echelon {
+
+using SimTime = double;
+using Duration = double;
+
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<double>::infinity();
+
+// Tolerance for comparing simulation times. Event times are computed from
+// chains of floating-point divisions; 1 ns of slack on second-scale values is
+// far above accumulated error yet far below any modeled duration.
+inline constexpr double kTimeEpsilon = 1e-9;
+
+[[nodiscard]] inline bool time_eq(SimTime a, SimTime b) noexcept {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::fabs(a - b) <= kTimeEpsilon * std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+}
+
+[[nodiscard]] inline bool time_lt(SimTime a, SimTime b) noexcept {
+  return a < b && !time_eq(a, b);
+}
+
+[[nodiscard]] inline bool time_le(SimTime a, SimTime b) noexcept {
+  return a < b || time_eq(a, b);
+}
+
+}  // namespace echelon

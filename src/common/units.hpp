@@ -1,0 +1,42 @@
+// Data-size and bandwidth units.
+//
+// Sizes are plain doubles in *bytes* and rates in *bytes per second*; these
+// helpers keep unit conversions explicit and readable at call sites
+// (`gbps(100)`, `mib(64)`), avoiding the classic bits-vs-bytes factor-of-8
+// bug endemic to networking code.
+
+#pragma once
+
+namespace echelon {
+
+using Bytes = double;          // data size in bytes
+using BytesPerSec = double;    // bandwidth in bytes per second
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Bandwidths: network gear is marketed in bits per second.
+[[nodiscard]] constexpr BytesPerSec gbps(double v) noexcept {
+  return v * kGiga / 8.0;
+}
+[[nodiscard]] constexpr BytesPerSec mbps(double v) noexcept {
+  return v * kMega / 8.0;
+}
+
+// Sizes.
+[[nodiscard]] constexpr Bytes kib(double v) noexcept { return v * kKiB; }
+[[nodiscard]] constexpr Bytes mib(double v) noexcept { return v * kMiB; }
+[[nodiscard]] constexpr Bytes gib(double v) noexcept { return v * kGiB; }
+
+// Back-conversions for reporting.
+[[nodiscard]] constexpr double to_gbps(BytesPerSec v) noexcept {
+  return v * 8.0 / kGiga;
+}
+[[nodiscard]] constexpr double to_mib(Bytes v) noexcept { return v / kMiB; }
+
+}  // namespace echelon

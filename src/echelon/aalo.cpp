@@ -1,0 +1,78 @@
+#include "echelon/aalo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace echelon::ef {
+
+void AaloScheduler::on_flow_arrival(netsim::Simulator&,
+                                    const netsim::Flow& flow) {
+  const std::uint64_t key = flow.spec.group.valid()
+                                ? flow.spec.group.value()
+                                : (1ULL << 63) | flow.id.value();
+  group_arrival_.try_emplace(key, arrival_counter_++);
+}
+
+void AaloScheduler::control(netsim::Simulator& sim,
+                            std::span<netsim::Flow*> active) {
+  struct Group {
+    std::vector<netsim::Flow*> flows;
+    Bytes sent = 0.0;
+    std::uint64_t arrival = 0;
+    int queue = 0;
+  };
+  std::map<std::uint64_t, Group> groups;
+  for (netsim::Flow* f : active) {
+    if (f->path.empty()) {
+      f->weight = 1.0;
+      f->rate_cap.reset();
+      continue;
+    }
+    const std::uint64_t key = f->spec.group.valid()
+                                  ? f->spec.group.value()
+                                  : (1ULL << 63) | f->id.value();
+    Group& g = groups[key];
+    g.flows.push_back(f);
+    // Observable bytes only: what this group's *active* flows have put on
+    // the wire. (Finished flows of long-lived groups age the group upward
+    // implicitly through arrival order, as in Aalo's per-epoch reset.)
+    g.sent += f->spec.size - f->remaining;
+    const auto it = group_arrival_.find(key);
+    g.arrival = it != group_arrival_.end() ? it->second : arrival_counter_;
+  }
+
+  // Queue level from sent bytes: level k iff sent >= base * multiplier^k.
+  std::vector<Group*> order;
+  order.reserve(groups.size());
+  for (auto& [key, g] : groups) {
+    (void)key;
+    double threshold = config_.base_threshold;
+    int q = 0;
+    while (q < config_.num_queues - 1 && g.sent >= threshold) {
+      threshold *= config_.multiplier;
+      ++q;
+    }
+    g.queue = q;
+    order.push_back(&g);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Group* a, const Group* b) {
+                     if (a->queue != b->queue) return a->queue < b->queue;
+                     return a->arrival < b->arrival;  // FIFO within a level
+                   });
+
+  // Strict priority across the order; flows of one group water-fill.
+  detail::ResidualCaps caps(&sim.topology());
+  for (Group* g : order) {
+    for (netsim::Flow* f : g->flows) {
+      const double rate = caps.path_residual(*f);
+      f->weight = 1.0;
+      f->rate_cap = std::isfinite(rate) ? rate : 0.0;
+      caps.consume(*f, *f->rate_cap);
+    }
+  }
+}
+
+}  // namespace echelon::ef

@@ -1,0 +1,76 @@
+#include "echelon/arrangement.hpp"
+
+#include <cassert>
+
+namespace echelon::ef {
+
+Arrangement Arrangement::coflow(int n) {
+  assert(n >= 0);
+  return Arrangement(std::vector<Duration>(static_cast<std::size_t>(n), 0.0));
+}
+
+Arrangement Arrangement::pipeline(int n, Duration T) {
+  assert(n >= 0 && T >= 0.0);
+  std::vector<Duration> offsets(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) offsets[static_cast<std::size_t>(j)] = j * T;
+  return Arrangement(std::move(offsets));
+}
+
+Arrangement Arrangement::fsdp(int n_layers, int flows_per_stage,
+                              Duration t_fwd, Duration t_bwd) {
+  assert(n_layers >= 1 && flows_per_stage >= 1);
+  std::vector<int> sizes;
+  std::vector<Duration> offsets;
+  Duration acc = 0.0;
+  for (int i = 0; i < 2 * n_layers; ++i) {
+    // d_c0 = r; forward stages 1..n-1 add T_fwd; backward stages add T_bwd.
+    if (i > 0) acc += i <= n_layers - 1 ? t_fwd : t_bwd;
+    sizes.push_back(flows_per_stage);
+    offsets.push_back(acc);
+  }
+  return staged(sizes, offsets);
+}
+
+Arrangement Arrangement::from_offsets(std::vector<Duration> offsets) {
+  for (std::size_t j = 1; j < offsets.size(); ++j) {
+    assert(offsets[j] >= offsets[j - 1] &&
+           "flow offsets must be non-decreasing");
+  }
+  return Arrangement(std::move(offsets));
+}
+
+Arrangement Arrangement::staged(const std::vector<int>& stage_sizes,
+                                const std::vector<Duration>& stage_offsets) {
+  assert(stage_sizes.size() == stage_offsets.size());
+  std::vector<Duration> offsets;
+  for (std::size_t s = 0; s < stage_sizes.size(); ++s) {
+    assert(stage_sizes[s] >= 0);
+    for (int k = 0; k < stage_sizes[s]; ++k) {
+      offsets.push_back(stage_offsets[s]);
+    }
+  }
+  return from_offsets(std::move(offsets));
+}
+
+bool Arrangement::is_coflow_compliant() const noexcept {
+  for (Duration off : offsets_) {
+    if (!time_eq(off, offsets_.empty() ? 0.0 : offsets_.front())) return false;
+  }
+  return true;
+}
+
+std::string Arrangement::describe() const {
+  if (is_coflow_compliant()) return "same flow finish time";
+  // Distinguish fully staggered (every offset distinct) from staged
+  // (groups sharing an offset -- FSDP's "staggered Coflow finish time").
+  bool has_ties = false;
+  for (std::size_t j = 1; j < offsets_.size(); ++j) {
+    if (time_eq(offsets_[j], offsets_[j - 1])) {
+      has_ties = true;
+      break;
+    }
+  }
+  return has_ties ? "staggered Coflow finish time" : "staggered flow finish time";
+}
+
+}  // namespace echelon::ef

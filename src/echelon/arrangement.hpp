@@ -1,0 +1,80 @@
+// Arrangement functions (paper §3.1-§3.2, §4).
+//
+// An arrangement function g(D, r) encodes the "shape" and "distance" of a
+// training paradigm's computation pattern: given the EchelonFlow's reference
+// time r (the start time of its head flow), it yields the ideal finish time
+// d_j of every flow. We represent g as a vector of per-flow *offsets* from
+// the reference time: d_j = r + offset_j. This covers every case study in
+// the paper:
+//
+//   Coflow   (Eq. 5): offset_j = 0                       -- all equal
+//   Pipeline (Eq. 6): offset_j = j * T                   -- staggered by T
+//   FSDP     (Eq. 7): offset by *stage* (the Coflow index i), accumulating
+//                     T_fwd through the forward layers and T_bwd through the
+//                     backward layers; all flows of one stage share d_ci
+//   Generic DAG     : arbitrary profiled offsets
+//
+// Offsets are immutable once built; the runtime EchelonFlow object combines
+// them with the observed reference time (Fig. 6's recalibration).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace echelon::ef {
+
+class Arrangement {
+ public:
+  Arrangement() = default;
+
+  // --- factories -----------------------------------------------------------
+
+  // Eq. 5: n flows with a common ideal finish time (classic Coflow).
+  [[nodiscard]] static Arrangement coflow(int n);
+
+  // Eq. 6: n flows staggered by the per-micro-batch computation time T.
+  [[nodiscard]] static Arrangement pipeline(int n, Duration T);
+
+  // Eq. 7: 2*n_layers stages (forward then backward), each stage holding
+  // `flows_per_stage` flows that share an ideal finish time; consecutive
+  // forward stages are T_fwd apart and backward stages T_bwd apart.
+  [[nodiscard]] static Arrangement fsdp(int n_layers, int flows_per_stage,
+                                        Duration t_fwd, Duration t_bwd);
+
+  // Generic: one offset per flow, in flow-index order. Offsets must be
+  // non-decreasing (flows are indexed by ascending start/ideal-finish time).
+  [[nodiscard]] static Arrangement from_offsets(std::vector<Duration> offsets);
+
+  // Staged generic form: stage_sizes[i] flows share offset stage_offsets[i].
+  [[nodiscard]] static Arrangement staged(
+      const std::vector<int>& stage_sizes,
+      const std::vector<Duration>& stage_offsets);
+
+  // --- queries --------------------------------------------------------------
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(offsets_.size());
+  }
+  [[nodiscard]] Duration offset(int j) const { return offsets_.at(j); }
+  [[nodiscard]] const std::vector<Duration>& offsets() const noexcept {
+    return offsets_;
+  }
+
+  // Table 1's "CoFlow compliance": true iff all ideal finish times coincide.
+  [[nodiscard]] bool is_coflow_compliant() const noexcept;
+
+  // Human-readable classification for reports: "same finish time",
+  // "staggered finish time", or "staggered stage finish time".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  explicit Arrangement(std::vector<Duration> offsets)
+      : offsets_(std::move(offsets)) {}
+
+  std::vector<Duration> offsets_;
+};
+
+}  // namespace echelon::ef

@@ -1,0 +1,136 @@
+#include "echelon/coflow_madd.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace echelon::ef {
+
+namespace {
+
+struct Group {
+  std::vector<netsim::Flow*> flows;
+  double gamma_standalone = 0.0;
+};
+
+// Standalone completion bound: served alone on an idle fabric, the coflow
+// cannot finish faster than its most loaded link allows.
+double standalone_gamma(const topology::Topology& topo, const Group& g) {
+  std::unordered_map<std::uint64_t, double> load;
+  for (const netsim::Flow* f : g.flows) {
+    for (LinkId lid : f->path) load[lid.value()] += f->remaining;
+  }
+  double gamma = 0.0;
+  for (const auto& [lid, bytes] : load) {
+    const double cap = topo.link(LinkId{lid}).capacity;
+    gamma = std::max(gamma, cap > 0.0 ? bytes / cap
+                                      : std::numeric_limits<double>::infinity());
+  }
+  return gamma;
+}
+
+// Completion bound against the residual fabric left by higher-priority
+// coflows. Infinite when some needed link is exhausted.
+double residual_gamma(const detail::ResidualCaps& caps, const Group& g) {
+  std::unordered_map<std::uint64_t, double> load;
+  for (const netsim::Flow* f : g.flows) {
+    for (LinkId lid : f->path) load[lid.value()] += f->remaining;
+  }
+  double gamma = 0.0;
+  for (const auto& [lid, bytes] : load) {
+    const double cap = caps.residual(LinkId{lid});
+    if (cap <= 0.0) return std::numeric_limits<double>::infinity();
+    gamma = std::max(gamma, bytes / cap);
+  }
+  return gamma;
+}
+
+}  // namespace
+
+void CoflowMaddScheduler::control(netsim::Simulator& sim,
+                                  std::span<netsim::Flow*> active) {
+  const topology::Topology& topo = sim.topology();
+
+  // Group by coflow id; ungrouped flows become singletons keyed after all
+  // real groups (high bit set), so keys stay unique and ordering is stable.
+  std::map<std::uint64_t, Group> groups;
+  constexpr std::uint64_t kSingletonBase = 1ULL << 63;
+  for (netsim::Flow* f : active) {
+    if (f->path.empty()) {  // loopback: never network-limited
+      f->weight = 1.0;
+      f->rate_cap.reset();
+      continue;
+    }
+    const std::uint64_t key = f->spec.group.valid()
+                                  ? f->spec.group.value()
+                                  : kSingletonBase | f->id.value();
+    groups[key].flows.push_back(f);
+  }
+
+  // SEBF order: ascending standalone Gamma, key as deterministic tie-break.
+  std::vector<std::map<std::uint64_t, Group>::iterator> order;
+  order.reserve(groups.size());
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    it->second.gamma_standalone = standalone_gamma(topo, it->second);
+    order.push_back(it);
+  }
+  std::stable_sort(order.begin(), order.end(), [](auto a, auto b) {
+    return a->second.gamma_standalone < b->second.gamma_standalone;
+  });
+
+  // MADD pass: pace every flow of the coflow to finish at the (residual)
+  // bottleneck completion time.
+  detail::ResidualCaps caps(&topo);
+  for (auto it : order) {
+    Group& g = it->second;
+    const double gamma = residual_gamma(caps, g);
+    for (netsim::Flow* f : g.flows) {
+      double rate = std::isinf(gamma) || gamma <= 0.0 ? 0.0
+                                                      : f->remaining / gamma;
+      rate = std::min(rate, caps.path_residual(*f));  // numerical safety
+      f->weight = 1.0;
+      f->rate_cap = rate;
+      caps.consume(*f, rate);
+    }
+  }
+
+  // Work conservation (as in Varys' backfilling): leftovers go to coflows in
+  // SEBF order. First scale each coflow proportionally to remaining bytes
+  // (preserving simultaneous finishes where the whole coflow can speed up),
+  // then grant any capacity that proportional scaling could not use -- e.g.
+  // when one member's port is taken by a higher-ranked coflow -- flow by
+  // flow.
+  if (config_.work_conserving) {
+    for (auto it : order) {
+      Group& g = it->second;
+      std::unordered_map<std::uint64_t, double> load;
+      for (const netsim::Flow* f : g.flows) {
+        for (LinkId lid : f->path) load[lid.value()] += f->remaining;
+      }
+      double lambda = std::numeric_limits<double>::infinity();
+      for (const auto& [lid, bytes] : load) {
+        if (bytes <= 0.0) continue;
+        lambda = std::min(lambda, caps.residual(LinkId{lid}) / bytes);
+      }
+      if (!std::isfinite(lambda) || lambda < 0.0) lambda = 0.0;
+      for (netsim::Flow* f : g.flows) {
+        const double extra = f->remaining * lambda;
+        if (extra <= 0.0) continue;
+        f->rate_cap = *f->rate_cap + extra;
+        caps.consume(*f, extra);
+      }
+    }
+    for (auto it : order) {
+      for (netsim::Flow* f : it->second.flows) {
+        const double extra = caps.path_residual(*f);
+        if (extra <= 0.0 || !std::isfinite(extra)) continue;
+        f->rate_cap = *f->rate_cap + extra;
+        caps.consume(*f, extra);
+      }
+    }
+  }
+}
+
+}  // namespace echelon::ef

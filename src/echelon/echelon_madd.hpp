@@ -1,0 +1,78 @@
+// EchelonFlow scheduling: the paper's Property-4 adaptation of MADD.
+//
+// The one-to-one metric mapping (paper §3.3):
+//   Coflow completion time  ->  EchelonFlow tardiness
+//
+// * Intra-EchelonFlow: instead of pacing all flows to a common completion
+//   time, compute the minimal uniform tardiness t* such that every active
+//   member can finish by its ideal finish time d_j plus t*, then pace flow j
+//   to the deadline d_j + t*. Feasibility per link follows the classic
+//   earliest-deadline prefix condition: for members crossing the link in
+//   deadline order, sum_{j<=k} remaining_j <= cap * (d_k + t - now) for all
+//   k, giving
+//       t*_link = max_k ( prefix_bytes_k / cap - (d_k - now) )
+//   and t* = max over links (floored at 0 -- we never rush flows *ahead* of
+//   the arrangement at the expense of other jobs; see work conservation).
+//   On a single bottleneck this reproduces preemptive EDF, which provably
+//   minimizes maximum lateness; with recomputation at every arrival and
+//   departure the fabric-wide policy is the MADD-style heuristic the paper
+//   envisions.
+// * Inter-EchelonFlow: EchelonFlows are ranked by achievable tardiness
+//   (Eq. 2 metric) -- the analog of Varys' SEBF ordering -- and allocated
+//   against residual capacity in rank order.
+// * Work conservation: leftover capacity is granted in rank order, one
+//   deadline level at a time, scaled proportionally to remaining bytes so a
+//   level's flows keep finishing simultaneously (Property 2: with an Eq. 5
+//   arrangement -- a single deadline level -- this scheduler degenerates to
+//   exactly Coflow-MADD).
+//
+// Member deadlines come from the EchelonFlow Registry (arrangement function
+// + observed reference time). Flows without a registered group fall back to
+// d = flow start time (tardiness = flow completion time).
+
+#pragma once
+
+#include "echelon/linkcaps.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/scheduler.hpp"
+#include "netsim/simulator.hpp"
+
+namespace echelon::ef {
+
+enum class InterRanking {
+  // Ascending achievable tardiness: clear the least-behind EchelonFlow first
+  // (SEBF analog; minimizes the Eq. 4 sum in the shortest-first sense).
+  kSmallestTardinessFirst,
+  // Descending: rescue the most-behind EchelonFlow first.
+  kLargestTardinessFirst,
+};
+
+struct EchelonMaddConfig {
+  bool work_conserving = true;
+  InterRanking ranking = InterRanking::kSmallestTardinessFirst;
+  // Weighted Eq. 4 variant: rank EchelonFlows by achievable tardiness scaled
+  // by 1/weight, so a weight-2 EchelonFlow is served as if its tardiness
+  // mattered twice as much. Weights come from the registry (paper: "should
+  // there be a proper way to assign weights to different DDLT jobs").
+  bool use_weights = false;
+};
+
+class EchelonMaddScheduler final : public netsim::NetworkScheduler {
+ public:
+  // `registry` provides arrangement functions and reference times; it must
+  // outlive the scheduler and be attached to the same simulator.
+  explicit EchelonMaddScheduler(const Registry* registry,
+                                EchelonMaddConfig config = {})
+      : registry_(registry), config_(config) {}
+
+  void control(netsim::Simulator& sim,
+               std::span<netsim::Flow*> active) override;
+
+  [[nodiscard]] std::string name() const override { return "echelonflow-madd"; }
+
+ private:
+  const Registry* registry_;
+  EchelonMaddConfig config_;
+};
+
+}  // namespace echelon::ef

@@ -1,0 +1,57 @@
+#include "echelon/echelonflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace echelon::ef {
+
+void EchelonFlow::note_start(int index, FlowId sim_flow, Bytes size,
+                             SimTime now) {
+  assert(index >= 0 && index < arrangement_.size());
+  MemberFlow& m = members_.at(static_cast<std::size_t>(index));
+  assert(!m.started() && "member flow started twice");
+  m.sim_flow = sim_flow;
+  m.size = size;
+  m.start_time = now;
+  ++started_;
+  if (!reference_time_) {
+    // Fig. 6: the head flow (first to start) anchors the arrangement. All
+    // later ideal finish times derive from r, even for flows that start late
+    // -- their d_j may precede their own start time, which is exactly the
+    // paper's "advance the ideal finish time to offset the delay".
+    reference_time_ = now - arrangement_.offset(index);
+  }
+}
+
+void EchelonFlow::note_finish(int index, SimTime now) {
+  assert(index >= 0 && index < arrangement_.size());
+  MemberFlow& m = members_.at(static_cast<std::size_t>(index));
+  assert(m.started() && !m.finished());
+  m.finish_time = now;
+  ++finished_;
+  if (const auto d = ideal_finish(index)) {
+    max_tardiness_ = std::max(max_tardiness_, now - *d);
+  }
+}
+
+std::optional<SimTime> EchelonFlow::ideal_finish(int index) const {
+  if (!reference_time_) return std::nullopt;
+  return *reference_time_ + arrangement_.offset(index);
+}
+
+std::optional<Duration> EchelonFlow::flow_tardiness(int index) const {
+  const MemberFlow& m = members_.at(static_cast<std::size_t>(index));
+  if (!m.finished()) return std::nullopt;
+  const auto d = ideal_finish(index);
+  if (!d) return std::nullopt;
+  return m.finish_time - *d;
+}
+
+std::optional<Duration> EchelonFlow::coflow_completion_time() const {
+  if (!complete() || !reference_time_) return std::nullopt;
+  SimTime last = -kTimeInfinity;
+  for (const MemberFlow& m : members_) last = std::max(last, m.finish_time);
+  return last - *reference_time_;
+}
+
+}  // namespace echelon::ef

@@ -1,0 +1,123 @@
+#include "echelon/exhaustive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace echelon::ef {
+
+namespace {
+
+// Shared event loop: `pick` selects the running flow among released,
+// unfinished indices at each decision instant.
+template <typename Pick>
+std::vector<SimTime> simulate(const std::vector<MiniFlow>& flows,
+                              BytesPerSec cap, Pick pick) {
+  const std::size_t n = flows.size();
+  std::vector<SimTime> finish(n, kTimeInfinity);
+  std::vector<Bytes> rem(n);
+  for (std::size_t i = 0; i < n; ++i) rem[i] = flows[i].size;
+
+  SimTime now = 0.0;
+  std::size_t done = 0;
+  // Flows with zero bytes finish at their release instant.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rem[i] <= 0.0) {
+      finish[i] = flows[i].release;
+      ++done;
+    }
+  }
+  while (done < n) {
+    // Candidate set: released and unfinished.
+    int run = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (finish[i] < kTimeInfinity || flows[i].release > now + kTimeEpsilon) {
+        continue;
+      }
+      if (run < 0 || pick(static_cast<int>(i), run)) run = static_cast<int>(i);
+    }
+    if (run < 0) {
+      // Idle: jump to the next release.
+      SimTime next = kTimeInfinity;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (finish[i] == kTimeInfinity) {
+          next = std::min(next, flows[i].release);
+        }
+      }
+      assert(next < kTimeInfinity);
+      now = next;
+      continue;
+    }
+    // Run `run` at full cap until it finishes or the next release (which may
+    // change the priority winner).
+    SimTime horizon = now + rem[static_cast<std::size_t>(run)] / cap;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (finish[i] == kTimeInfinity && flows[i].release > now + kTimeEpsilon) {
+        horizon = std::min(horizon, flows[i].release);
+      }
+    }
+    rem[static_cast<std::size_t>(run)] -= cap * (horizon - now);
+    now = horizon;
+    if (rem[static_cast<std::size_t>(run)] <= 1e-9) {
+      finish[static_cast<std::size_t>(run)] = now;
+      ++done;
+    }
+  }
+  return finish;
+}
+
+}  // namespace
+
+std::vector<SimTime> simulate_priority(const std::vector<MiniFlow>& flows,
+                                       const std::vector<int>& order,
+                                       BytesPerSec cap) {
+  assert(order.size() == flows.size());
+  std::vector<int> prio(flows.size());
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    prio[static_cast<std::size_t>(order[p])] = static_cast<int>(p);
+  }
+  return simulate(flows, cap, [&prio](int a, int b) {
+    return prio[static_cast<std::size_t>(a)] <
+           prio[static_cast<std::size_t>(b)];
+  });
+}
+
+std::vector<SimTime> simulate_edf(const std::vector<MiniFlow>& flows,
+                                  BytesPerSec cap) {
+  return simulate(flows, cap, [&flows](int a, int b) {
+    return flows[static_cast<std::size_t>(a)].deadline <
+           flows[static_cast<std::size_t>(b)].deadline;
+  });
+}
+
+double max_tardiness(const std::vector<MiniFlow>& flows,
+                     const std::vector<SimTime>& finish) {
+  double t = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    t = std::max(t, finish[i] - flows[i].deadline);
+  }
+  return t;
+}
+
+ExhaustiveResult exhaustive_best(const std::vector<MiniFlow>& flows,
+                                 BytesPerSec cap, const Objective& objective) {
+  assert(flows.size() <= 10 && "factorial search; keep instances tiny");
+  std::vector<int> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  ExhaustiveResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  do {
+    std::vector<SimTime> finish = simulate_priority(flows, order, cap);
+    const double obj = objective(finish);
+    if (obj < best.objective) {
+      best.objective = obj;
+      best.order = order;
+      best.finish = std::move(finish);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace echelon::ef

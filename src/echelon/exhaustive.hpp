@@ -1,0 +1,64 @@
+// Exhaustive and analytic reference schedulers for tiny single-link
+// instances. Used to verify Property 1 (EchelonFlow scheduling minimizes
+// completion times of popular DDLT paradigms) and to grade the MADD
+// adaptation's heuristic quality (bench EXT-B).
+//
+// Model: one link of capacity `cap`; preemptive fluid service; flow j is
+// released at r_j with s_j bytes and ideal finish time (deadline) d_j.
+//
+// * `simulate_priority` serves, at every instant, the released unfinished
+//   flow that appears earliest in `order` at full capacity (strict
+//   preemptive priority).
+// * `simulate_edf` uses dynamic earliest-deadline-first priority -- the
+//   classic optimal policy for minimizing maximum lateness with preemption
+//   and release times on one machine (Horn 1974).
+// * `exhaustive_best` tries every priority permutation and returns the one
+//   minimizing a caller-supplied objective over the finish-time vector.
+//   With <= 9 flows this is exact and fast.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace echelon::ef {
+
+struct MiniFlow {
+  SimTime release = 0.0;
+  Bytes size = 0.0;
+  SimTime deadline = 0.0;  // ideal finish time d_j
+};
+
+// Finish time of every flow under strict preemptive priority `order`
+// (order[0] = highest priority; must be a permutation of flow indices).
+[[nodiscard]] std::vector<SimTime> simulate_priority(
+    const std::vector<MiniFlow>& flows, const std::vector<int>& order,
+    BytesPerSec cap);
+
+// Finish times under preemptive EDF (ties by lower index).
+[[nodiscard]] std::vector<SimTime> simulate_edf(
+    const std::vector<MiniFlow>& flows, BytesPerSec cap);
+
+// Max tardiness objective (Eq. 2) over a finish-time vector.
+[[nodiscard]] double max_tardiness(const std::vector<MiniFlow>& flows,
+                                   const std::vector<SimTime>& finish);
+
+struct ExhaustiveResult {
+  double objective = 0.0;
+  std::vector<int> order;
+  std::vector<SimTime> finish;
+};
+
+using Objective =
+    std::function<double(const std::vector<SimTime>& finish_times)>;
+
+// Minimizes `objective` over all priority permutations. Precondition:
+// flows.size() <= 10 (factorial blow-up beyond that).
+[[nodiscard]] ExhaustiveResult exhaustive_best(
+    const std::vector<MiniFlow>& flows, BytesPerSec cap,
+    const Objective& objective);
+
+}  // namespace echelon::ef

@@ -1,0 +1,44 @@
+// Residual link-capacity tracking shared by the MADD-family schedulers.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "netsim/flow.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::ef::detail {
+
+class ResidualCaps {
+ public:
+  explicit ResidualCaps(const topology::Topology* topo) : topo_(topo) {}
+
+  [[nodiscard]] double residual(LinkId lid) const {
+    const auto it = residual_.find(lid.value());
+    return it != residual_.end() ? it->second : topo_->link(lid).capacity;
+  }
+
+  // Smallest residual along a flow's path (infinity for empty paths).
+  [[nodiscard]] double path_residual(const netsim::Flow& f) const {
+    double r = std::numeric_limits<double>::infinity();
+    for (LinkId lid : f.path) r = std::min(r, residual(lid));
+    return r;
+  }
+
+  void consume(const netsim::Flow& f, double rate) {
+    if (rate <= 0.0) return;
+    for (LinkId lid : f.path) {
+      auto [it, inserted] = residual_.try_emplace(lid.value(),
+                                                  topo_->link(lid).capacity);
+      it->second = std::max(0.0, it->second - rate);
+    }
+  }
+
+ private:
+  const topology::Topology* topo_;
+  std::unordered_map<std::uint64_t, double> residual_;
+};
+
+}  // namespace echelon::ef::detail

@@ -1,0 +1,37 @@
+#include "echelon/srpt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace echelon::ef {
+
+void SrptScheduler::control(netsim::Simulator& sim,
+                            std::span<netsim::Flow*> active) {
+  std::vector<netsim::Flow*> order;
+  order.reserve(active.size());
+  for (netsim::Flow* f : active) {
+    if (f->path.empty()) {
+      f->weight = 1.0;
+      f->rate_cap.reset();
+      continue;
+    }
+    order.push_back(f);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const netsim::Flow* a, const netsim::Flow* b) {
+                     if (a->remaining != b->remaining) {
+                       return a->remaining < b->remaining;
+                     }
+                     return a->id < b->id;  // deterministic tie-break
+                   });
+
+  detail::ResidualCaps caps(&sim.topology());
+  for (netsim::Flow* f : order) {
+    const double rate = caps.path_residual(*f);
+    f->weight = 1.0;
+    f->rate_cap = std::isfinite(rate) ? rate : 0.0;
+    caps.consume(*f, f->rate_cap.value());
+  }
+}
+
+}  // namespace echelon::ef

@@ -1,0 +1,109 @@
+#include "netsim/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace echelon::netsim {
+
+namespace {
+
+struct LinkLoad {
+  double remaining_capacity = 0.0;
+  double unfrozen_weight = 0.0;  // sum of weights of unfrozen flows here
+};
+
+}  // namespace
+
+void RateAllocator::allocate(std::span<Flow*> flows) const {
+  // Per-round link state, built only for links that carry at least one flow.
+  std::unordered_map<std::uint64_t, LinkLoad> links;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows.size());
+  for (Flow* f : flows) {
+    if (f->finished()) {
+      f->rate = 0.0;
+      continue;
+    }
+    f->rate = 0.0;
+    // Zero-size or zero-cap flows are trivially done / stalled.
+    if (f->rate_cap && *f->rate_cap <= 0.0) continue;
+    // A flow with an empty path (src == dst, e.g. loopback shard exchange)
+    // is never network-limited; grant its cap or effectively-infinite rate.
+    if (f->path.empty()) {
+      f->rate = f->rate_cap ? *f->rate_cap
+                            : std::numeric_limits<double>::infinity();
+      continue;
+    }
+    unfrozen.push_back(f);
+    for (LinkId lid : f->path) {
+      auto [it, inserted] = links.try_emplace(lid.value());
+      if (inserted) {
+        it->second.remaining_capacity = topo_->link(lid).capacity;
+      }
+      it->second.unfrozen_weight += f->weight;
+    }
+  }
+
+  // Progressive filling: repeatedly raise the "water level" (rate per unit
+  // weight) until a link saturates or a flow reaches its cap; freeze and
+  // repeat. Each round freezes at least one flow or saturates at least one
+  // link, so the loop terminates in O(flows + links) rounds.
+  while (!unfrozen.empty()) {
+    // Max additional level permitted by each constraining link.
+    double delta = std::numeric_limits<double>::infinity();
+    for (const Flow* f : unfrozen) {
+      for (LinkId lid : f->path) {
+        const LinkLoad& ll = links.at(lid.value());
+        assert(ll.unfrozen_weight > 0.0);
+        delta = std::min(delta, ll.remaining_capacity / ll.unfrozen_weight);
+      }
+      if (f->rate_cap) {
+        delta = std::min(delta, (*f->rate_cap - f->rate) / f->weight);
+      }
+    }
+    if (!std::isfinite(delta)) break;  // defensive: no constraint found
+    delta = std::max(delta, 0.0);
+
+    // Apply the level increase and freeze exhausted flows.
+    std::vector<Flow*> next;
+    next.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      const double inc = f->weight * delta;
+      f->rate += inc;
+      for (LinkId lid : f->path) {
+        links.at(lid.value()).remaining_capacity -= inc;
+      }
+    }
+    // Freezing pass (separate from the increment so all link updates land
+    // before saturation checks).
+    constexpr double kEps = 1e-12;
+    for (Flow* f : unfrozen) {
+      bool frozen = false;
+      if (f->rate_cap && f->rate >= *f->rate_cap - kEps) {
+        f->rate = *f->rate_cap;
+        frozen = true;
+      } else {
+        for (LinkId lid : f->path) {
+          if (links.at(lid.value()).remaining_capacity <= kEps) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        for (LinkId lid : f->path) {
+          links.at(lid.value()).unfrozen_weight -= f->weight;
+        }
+      } else {
+        next.push_back(f);
+      }
+    }
+    if (next.size() == unfrozen.size()) break;  // defensive: no progress
+    unfrozen.swap(next);
+  }
+}
+
+}  // namespace echelon::netsim

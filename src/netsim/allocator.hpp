@@ -1,0 +1,35 @@
+// Demand-limited weighted max-min rate allocation (progressive filling).
+//
+// Given the set of active flows (each with a path, a weight, and an optional
+// rate cap) and per-link capacities, computes each flow's transmission rate:
+//
+//   rate_i = min(cap_i, weighted max-min fair share)
+//
+// Caps act as demands in classic water-filling: capacity a capped flow
+// declines is redistributed among *uncapped* flows sharing its links, but a
+// flow is never pushed above its cap. This gives schedulers exact rate
+// control (MADD-style deliberate slowdown) while the default -- every cap
+// unset, every weight 1 -- degenerates to TCP-like per-flow max-min fairness.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netsim/flow.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::netsim {
+
+class RateAllocator {
+ public:
+  explicit RateAllocator(const topology::Topology* topo) : topo_(topo) {}
+
+  // Overwrites `rate` on every flow in `flows`. Finished flows get rate 0.
+  void allocate(std::span<Flow*> flows) const;
+
+ private:
+  const topology::Topology* topo_;
+};
+
+}  // namespace echelon::netsim

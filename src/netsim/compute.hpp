@@ -1,0 +1,59 @@
+// GPU compute model: workers execute tasks serially in FIFO-ready order.
+//
+// A Worker models one dedicated, monolithic GPU (the configuration the paper
+// targets, §5). Tasks are enqueued when their dependencies are met and run
+// back-to-back; the gap between them is the GPU idleness ("bubble") that
+// EchelonFlow scheduling aims to minimize.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace echelon::netsim {
+
+class Simulator;
+
+struct ComputeTask {
+  TaskId id;
+  WorkerId worker;
+  Duration duration = 0.0;
+  std::string label;
+  JobId job;
+
+  SimTime enqueue_time = 0.0;
+  SimTime start_time = kTimeInfinity;
+  SimTime finish_time = kTimeInfinity;
+
+  [[nodiscard]] bool finished() const noexcept {
+    return finish_time < kTimeInfinity;
+  }
+};
+
+struct Worker {
+  WorkerId id;
+  NodeId host;                 // network attachment point
+  std::string name;
+
+  std::deque<TaskId> queue;    // ready tasks waiting for the GPU
+  TaskId running = TaskId::invalid();
+  Duration busy_time = 0.0;    // total time spent executing tasks
+  SimTime first_start = kTimeInfinity;
+  SimTime last_finish = 0.0;
+
+  [[nodiscard]] bool idle() const noexcept { return !running.valid(); }
+
+  // Fraction of [first task start, last task finish] the GPU sat idle.
+  [[nodiscard]] double idle_fraction() const noexcept {
+    const Duration span = last_finish - first_start;
+    if (span <= 0.0) return 0.0;
+    return 1.0 - busy_time / span;
+  }
+};
+
+}  // namespace echelon::netsim

@@ -1,0 +1,59 @@
+// Deterministic time-ordered event queue.
+//
+// Ties in time are broken by insertion sequence number, so two events
+// scheduled for the same instant always fire in the order they were
+// scheduled -- a requirement for reproducible simulations.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace echelon::netsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(SimTime at, Callback cb) {
+    heap_.push(Entry{at, seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] SimTime next_time() const noexcept {
+    return heap_.empty() ? kTimeInfinity : heap_.top().at;
+  }
+
+  // Pops and returns the earliest event. Precondition: !empty().
+  [[nodiscard]] Callback pop() {
+    // std::priority_queue::top() returns const&; the callback must be moved
+    // out, so we const_cast the owned entry. Safe: the entry is removed
+    // immediately after and never observed again.
+    Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+    heap_.pop();
+    return cb;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+    // Min-heap: earliest time first, then lowest sequence number.
+    bool operator<(const Entry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace echelon::netsim

@@ -1,0 +1,64 @@
+// Flow model for the fluid (flow-level) network simulation.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::netsim {
+
+// Immutable description of a flow, provided at submission time.
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  Bytes size = 0.0;
+
+  // Application metadata carried through to schedulers and reports.
+  JobId job;                    // owning training job (optional)
+  EchelonFlowId group;          // owning EchelonFlow (optional)
+  int index_in_group = 0;       // position within the EchelonFlow
+  std::string label;            // human-readable tag for traces
+
+  // Structural identity stable across training iterations (same position in
+  // the workflow => same signature). Lets the coordinator reuse scheduling
+  // decisions over a job's lifetime (paper §5). 0 = no signature.
+  std::uint64_t signature = 0;
+};
+
+enum class FlowState { kActive, kFinished };
+
+// Live flow state, owned by the Simulator.
+struct Flow {
+  FlowId id;
+  FlowSpec spec;
+  topology::Path path;          // directed links traversed
+
+  FlowState state = FlowState::kActive;
+  Bytes remaining = 0.0;
+  SimTime start_time = 0.0;     // when the flow entered the network
+  SimTime finish_time = kTimeInfinity;
+
+  // --- control plane ---
+  // Weight for weighted max-min sharing (fair default: 1).
+  double weight = 1.0;
+  // Explicit rate demand set by a scheduler. The allocator never exceeds it.
+  // nullopt = uncapped (pure max-min share).
+  std::optional<BytesPerSec> rate_cap;
+
+  // --- data plane (recomputed by the allocator) ---
+  BytesPerSec rate = 0.0;
+
+  [[nodiscard]] bool finished() const noexcept {
+    return state == FlowState::kFinished;
+  }
+  [[nodiscard]] Duration completion_time() const noexcept {
+    return finish_time - start_time;
+  }
+};
+
+}  // namespace echelon::netsim

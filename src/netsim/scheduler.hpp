@@ -1,0 +1,58 @@
+// Network control-plane interface.
+//
+// A NetworkScheduler observes flow arrivals/departures and, whenever the
+// active set changes, assigns per-flow weights and rate caps that the
+// RateAllocator then turns into feasible rates. Concrete policies:
+//   * FairSharingScheduler (here)    -- TCP-like max-min fairness baseline
+//   * CoflowMaddScheduler (echelon/) -- Varys-style SEBF + MADD
+//   * EchelonMaddScheduler (echelon/)-- the paper's tardiness-minimizing
+//                                       adaptation (Property 4)
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "netsim/flow.hpp"
+
+namespace echelon::netsim {
+
+class Simulator;
+
+class NetworkScheduler {
+ public:
+  virtual ~NetworkScheduler() = default;
+
+  // Notification hooks. The simulator calls `control` after any arrival or
+  // departure, before recomputing rates.
+  virtual void on_flow_arrival(Simulator& sim, const Flow& flow) {
+    (void)sim;
+    (void)flow;
+  }
+  virtual void on_flow_departure(Simulator& sim, const Flow& flow) {
+    (void)sim;
+    (void)flow;
+  }
+
+  // Assign `weight` / `rate_cap` on the active flows. The allocator enforces
+  // feasibility afterwards, so over-subscription degrades gracefully rather
+  // than violating capacity.
+  virtual void control(Simulator& sim, std::span<Flow*> active) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Plain weighted max-min fairness: every flow uncapped with weight 1. This is
+// the "naive bandwidth fair sharing" baseline of Fig. 2.
+class FairSharingScheduler final : public NetworkScheduler {
+ public:
+  void control(Simulator&, std::span<Flow*> active) override {
+    for (Flow* f : active) {
+      f->weight = 1.0;
+      f->rate_cap.reset();
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "fair"; }
+};
+
+}  // namespace echelon::netsim

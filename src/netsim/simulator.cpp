@@ -1,0 +1,239 @@
+#include "netsim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace echelon::netsim {
+
+// A flow is considered drained once fewer bytes than this remain. Flow sizes
+// in the experiments are >= 1 byte, so a micro-byte of slack only absorbs
+// floating-point error.
+constexpr Bytes kBytesEpsilon = 1e-6;
+
+Simulator::Simulator(const topology::Topology* topo)
+    : topo_(topo), allocator_(topo), scheduler_(&default_scheduler_) {
+  assert(topo != nullptr);
+}
+
+void Simulator::set_scheduler(NetworkScheduler* scheduler) noexcept {
+  scheduler_ = scheduler != nullptr ? scheduler : &default_scheduler_;
+  allocation_dirty_ = true;
+}
+
+WorkerId Simulator::add_worker(NodeId host, std::string name) {
+  const WorkerId id{workers_.size()};
+  if (name.empty()) name = "w" + std::to_string(id.value());
+  workers_.push_back(Worker{.id = id, .host = host, .name = std::move(name)});
+  return id;
+}
+
+TaskId Simulator::enqueue_task(WorkerId worker, Duration duration,
+                               std::string label, JobId job,
+                               TaskCallback on_done) {
+  const TaskId id{tasks_.size()};
+  tasks_.push_back(ComputeTask{.id = id,
+                               .worker = worker,
+                               .duration = duration,
+                               .label = std::move(label),
+                               .job = job,
+                               .enqueue_time = now_});
+  task_done_.push_back(std::move(on_done));
+  Worker& w = workers_.at(worker.value());
+  w.queue.push_back(id);
+  if (w.idle()) start_next_task(worker);
+  return id;
+}
+
+void Simulator::start_next_task(WorkerId worker) {
+  Worker& w = workers_.at(worker.value());
+  if (!w.idle() || w.queue.empty()) return;
+  const TaskId id = w.queue.front();
+  w.queue.pop_front();
+  ComputeTask& t = tasks_.at(id.value());
+  t.start_time = now_;
+  w.running = id;
+  w.first_start = std::min(w.first_start, now_);
+  events_.schedule(now_ + t.duration, [this, id] { finish_task(id); });
+}
+
+void Simulator::finish_task(TaskId id) {
+  ComputeTask& t = tasks_.at(id.value());
+  t.finish_time = now_;
+  Worker& w = workers_.at(t.worker.value());
+  w.busy_time += t.duration;
+  w.last_finish = std::max(w.last_finish, now_);
+  w.running = TaskId::invalid();
+
+  ECHELON_LOG(kDebug) << "task " << t.label << " done at " << now_;
+
+  // Fire completion callbacks first: they typically release successor work
+  // (flows or tasks on other workers), and for determinism that work should
+  // be visible before this worker greedily grabs its next queued task.
+  // Callbacks may enqueue tasks and reallocate tasks_, so work on a copy.
+  const ComputeTask snapshot = t;
+  if (TaskCallback cb = std::move(task_done_.at(id.value())); cb) {
+    cb(*this, snapshot);
+  }
+  for (const TaskCallback& cb : task_listeners_) cb(*this, snapshot);
+  start_next_task(snapshot.worker);
+}
+
+FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
+  const FlowId id{flows_.size()};
+  Flow f;
+  f.id = id;
+  f.spec = std::move(spec);
+  f.remaining = f.spec.size;
+  f.start_time = now_;
+  if (f.spec.src != f.spec.dst) {
+    auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
+    assert(path.has_value() && "flow endpoints must be connected");
+    f.path = std::move(*path);
+  }
+  flows_.push_back(std::move(f));
+  flow_done_.push_back(std::move(on_done));
+
+  // Callbacks may submit flows and reallocate flows_; re-index as needed and
+  // hand callbacks a snapshot.
+  for (const FlowCallback& cb : flow_arrival_listeners_) {
+    cb(*this, flows_.at(id.value()));
+  }
+  if (flows_.at(id.value()).remaining <= kBytesEpsilon) {
+    // Zero-byte flow (e.g. control message): completes instantly.
+    Flow& stored = flows_.at(id.value());
+    stored.state = FlowState::kFinished;
+    stored.finish_time = now_;
+    const Flow snapshot = stored;
+    if (FlowCallback cb = std::move(flow_done_.at(id.value())); cb) {
+      cb(*this, snapshot);
+    }
+    for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
+    return id;
+  }
+  active_flows_.push_back(id);
+  allocation_dirty_ = true;
+  scheduler_->on_flow_arrival(*this, flows_.at(id.value()));
+  return id;
+}
+
+void Simulator::schedule_at(SimTime at, TimerCallback cb) {
+  assert(at >= now_ - kTimeEpsilon && "cannot schedule in the past");
+  events_.schedule(std::max(at, now_), [this, cb = std::move(cb)] { cb(*this); });
+}
+
+void Simulator::reallocate() {
+  std::vector<Flow*> active;
+  active.reserve(active_flows_.size());
+  for (FlowId id : active_flows_) active.push_back(&flows_.at(id.value()));
+  scheduler_->control(*this, active);
+  ++control_invocations_;
+  allocator_.allocate(active);
+  allocation_dirty_ = false;
+}
+
+SimTime Simulator::earliest_completion() const noexcept {
+  SimTime best = kTimeInfinity;
+  for (FlowId id : active_flows_) {
+    const Flow& f = flows_.at(id.value());
+    if (f.rate <= 0.0) continue;
+    if (std::isinf(f.rate)) return now_;
+    best = std::min(best, now_ + f.remaining / f.rate);
+  }
+  return best;
+}
+
+void Simulator::finish_flow(FlowId id) {
+  Flow& f = flows_.at(id.value());
+  f.state = FlowState::kFinished;
+  f.finish_time = now_;
+  f.remaining = 0.0;
+  f.rate = 0.0;
+  std::erase(active_flows_, id);
+  allocation_dirty_ = true;
+
+  ECHELON_LOG(kDebug) << "flow " << f.spec.label << " done at " << now_;
+
+  // Callbacks may submit flows and reallocate flows_, so work on a copy.
+  const Flow snapshot = f;
+  scheduler_->on_flow_departure(*this, snapshot);
+  if (FlowCallback cb = std::move(flow_done_.at(id.value())); cb) {
+    cb(*this, snapshot);
+  }
+  for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
+}
+
+SimTime Simulator::run(SimTime deadline) {
+  while (true) {
+    // 1. Fire every event due at the current instant.
+    while (!events_.empty() && time_le(events_.next_time(), now_)) {
+      auto cb = events_.pop();
+      cb();
+    }
+
+    // 2. Refresh rates if the flow set or control state changed.
+    if (allocation_dirty_) {
+      reallocate();
+      // Retire flows completed by callbacks racing with reallocation --
+      // e.g. infinite-rate loopback flows.
+      bool retired = false;
+      for (std::size_t i = active_flows_.size(); i-- > 0;) {
+        Flow& f = flows_.at(active_flows_[i].value());
+        if (std::isinf(f.rate) || f.remaining <= kBytesEpsilon) {
+          finish_flow(f.id);
+          retired = true;
+        }
+      }
+      if (retired) continue;  // callbacks may have scheduled work at `now_`
+    }
+
+    // 3. Pick the next instant.
+    const SimTime next_event = events_.next_time();
+    const SimTime next_done = earliest_completion();
+    SimTime next = std::min(next_event, next_done);
+    if (next > deadline) {
+      // Drain progress up to the deadline so a later run() resumes exactly
+      // where this one stopped.
+      const Duration dt = deadline - now_;
+      if (dt > 0.0) {
+        for (FlowId id : active_flows_) {
+          Flow& f = flows_.at(id.value());
+          f.remaining -= f.rate * dt;
+        }
+      }
+      now_ = deadline;
+      return now_;
+    }
+    if (next == kTimeInfinity) return now_;  // quiescent
+
+    // 4. Advance: drain bytes at constant rates.
+    const Duration dt = next - now_;
+    if (dt > 0.0) {
+      for (FlowId id : active_flows_) {
+        Flow& f = flows_.at(id.value());
+        f.remaining -= f.rate * dt;
+      }
+      now_ = next;
+    } else {
+      now_ = next;  // same-instant event
+    }
+
+    // 5. Retire completed flows (iterate by index: callbacks can add flows).
+    // A flow whose residual would drain within the simulator's time
+    // resolution counts as finished *now*: with extreme rates (profiling
+    // runs use ~1e30 B/s links) `now + remaining/rate` is not representable
+    // as a distinct double and the flow could otherwise never retire.
+    const double horizon = kTimeEpsilon * std::max(1.0, std::fabs(now_));
+    for (std::size_t i = active_flows_.size(); i-- > 0;) {
+      Flow& f = flows_.at(active_flows_[i].value());
+      if (f.remaining <= kBytesEpsilon ||
+          (f.rate > 0.0 && f.remaining <= f.rate * horizon)) {
+        finish_flow(f.id);
+      }
+    }
+  }
+}
+
+}  // namespace echelon::netsim

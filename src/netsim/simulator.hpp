@@ -1,0 +1,154 @@
+// Fluid flow-level discrete-event simulator.
+//
+// The simulator advances between "interesting" instants: scheduled events
+// (timers, task completions, deferred flow submissions) and flow completion
+// times implied by the current rate allocation. Between instants every active
+// flow transmits at a constant rate, so progress is exact (no time stepping).
+//
+// The control loop per instant:
+//   1. fire all due events (may submit flows / enqueue tasks),
+//   2. if the active flow set changed, let the NetworkScheduler assign
+//      weights and rate caps, then recompute rates with the RateAllocator,
+//   3. advance to min(next event, earliest flow completion), draining
+//      `rate * dt` bytes from each active flow,
+//   4. retire finished flows (callbacks may again mutate state).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "netsim/allocator.hpp"
+#include "netsim/compute.hpp"
+#include "netsim/event_queue.hpp"
+#include "netsim/flow.hpp"
+#include "netsim/scheduler.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::netsim {
+
+class Simulator {
+ public:
+  using FlowCallback = std::function<void(Simulator&, const Flow&)>;
+  using TaskCallback = std::function<void(Simulator&, const ComputeTask&)>;
+  using TimerCallback = std::function<void(Simulator&)>;
+
+  explicit Simulator(const topology::Topology* topo);
+
+  // Non-copyable: owns callbacks holding references to itself.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] const topology::Topology& topology() const noexcept {
+    return *topo_;
+  }
+
+  // --- control plane ---
+  // `scheduler` must outlive the simulator run. Defaults to fair sharing.
+  void set_scheduler(NetworkScheduler* scheduler) noexcept;
+  [[nodiscard]] NetworkScheduler& scheduler() noexcept { return *scheduler_; }
+
+  // --- workers / compute ---
+  WorkerId add_worker(NodeId host, std::string name = {});
+  [[nodiscard]] const Worker& worker(WorkerId id) const {
+    return workers_.at(id.value());
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  // Enqueues a task on a worker's FIFO queue; it starts as soon as the GPU
+  // is free. `on_done` fires at completion.
+  TaskId enqueue_task(WorkerId worker, Duration duration, std::string label,
+                      JobId job = {}, TaskCallback on_done = {});
+  [[nodiscard]] const ComputeTask& task(TaskId id) const {
+    return tasks_.at(id.value());
+  }
+
+  // --- flows ---
+  // Submits a flow that starts *now*. `on_done` fires at completion.
+  FlowId submit_flow(FlowSpec spec, FlowCallback on_done = {});
+  [[nodiscard]] const Flow& flow(FlowId id) const {
+    return flows_.at(id.value());
+  }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] std::size_t active_flow_count() const noexcept {
+    return active_flows_.size();
+  }
+
+  // Mutable flow access for schedulers (weights/caps).
+  [[nodiscard]] Flow& flow_mutable(FlowId id) { return flows_.at(id.value()); }
+
+  // --- timers ---
+  void schedule_at(SimTime at, TimerCallback cb);
+  void schedule_after(Duration delay, TimerCallback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // --- global listeners (metrics collection) ---
+  void add_flow_listener(FlowCallback cb) {
+    flow_listeners_.push_back(std::move(cb));
+  }
+  // Fires when a flow enters the network (start time fixed). Used by the
+  // EchelonFlow registry to bind reference times under any scheduler.
+  void add_flow_arrival_listener(FlowCallback cb) {
+    flow_arrival_listeners_.push_back(std::move(cb));
+  }
+  void add_task_listener(TaskCallback cb) {
+    task_listeners_.push_back(std::move(cb));
+  }
+
+  // Forces a scheduler + allocator pass before the next advance. Schedulers
+  // call this when external state (e.g. a new EchelonFlow registration)
+  // changes their decisions.
+  void invalidate_allocation() noexcept { allocation_dirty_ = true; }
+
+  // Runs until the event queue is empty and no flows are active, or until
+  // `deadline`. Returns the simulation time reached.
+  SimTime run(SimTime deadline = kTimeInfinity);
+
+  // Count of scheduler control passes -- a measure of control-plane load.
+  [[nodiscard]] std::uint64_t control_invocations() const noexcept {
+    return control_invocations_;
+  }
+
+ private:
+  void reallocate();
+  void start_next_task(WorkerId worker);
+  void finish_task(TaskId id);
+  void finish_flow(FlowId id);
+  [[nodiscard]] SimTime earliest_completion() const noexcept;
+
+  const topology::Topology* topo_;
+  RateAllocator allocator_;
+  FairSharingScheduler default_scheduler_;
+  NetworkScheduler* scheduler_;
+
+  SimTime now_ = 0.0;
+  EventQueue events_;
+
+  std::vector<Flow> flows_;             // indexed by FlowId; never shrinks
+  std::vector<FlowCallback> flow_done_; // parallel to flows_
+  std::vector<FlowId> active_flows_;
+
+  std::vector<Worker> workers_;
+  std::vector<ComputeTask> tasks_;
+  std::vector<TaskCallback> task_done_;
+
+  std::vector<FlowCallback> flow_listeners_;
+  std::vector<FlowCallback> flow_arrival_listeners_;
+  std::vector<TaskCallback> task_listeners_;
+
+  bool allocation_dirty_ = false;
+  std::uint64_t control_invocations_ = 0;
+};
+
+}  // namespace echelon::netsim

@@ -1,0 +1,80 @@
+#include "netsim/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace echelon::netsim {
+
+TimelineRecorder::TimelineRecorder(Simulator& sim) {
+  sim.add_task_listener([this](Simulator&, const ComputeTask& t) {
+    records_.push_back(
+        Record{t.worker, t.label, t.start_time, t.finish_time});
+    worker_count_ =
+        std::max(worker_count_, static_cast<std::size_t>(t.worker.value() + 1));
+  });
+}
+
+std::string TimelineRecorder::cell_code(const std::string& label) {
+  // Phase letter: first alphabetic character after any "it<K>." iteration
+  // prefix (so "it0.f.s2.mb3" codes as forward, not as micro-batch).
+  std::size_t pos = 0;
+  if (label.rfind("it", 0) == 0) {
+    std::size_t k = 2;
+    while (k < label.size() &&
+           std::isdigit(static_cast<unsigned char>(label[k]))) {
+      ++k;
+    }
+    if (k < label.size() && label[k] == '.') pos = k + 1;
+  }
+  while (pos < label.size() &&
+         !std::isalpha(static_cast<unsigned char>(label[pos]))) {
+    ++pos;
+  }
+  // Trailing digits (micro-batch / layer index).
+  std::size_t dend = label.size();
+  while (dend > 0 && std::isdigit(static_cast<unsigned char>(label[dend - 1]))) {
+    --dend;
+  }
+  std::string code;
+  if (pos < label.size()) code += label[pos];
+  code += label.substr(dend, 2);
+  if (code.empty()) code = "#";
+  return code;
+}
+
+std::string TimelineRecorder::render(Duration slot,
+                                     std::size_t max_slots) const {
+  SimTime end = 0.0;
+  for (const Record& r : records_) end = std::max(end, r.finish);
+  if (slot <= 0.0 || records_.empty()) return "";
+  const std::size_t slots =
+      std::min(max_slots, static_cast<std::size_t>(end / slot + 0.999));
+
+  // Cell width: longest code, min 2.
+  std::size_t width = 2;
+  for (const Record& r : records_) {
+    width = std::max(width, cell_code(r.label).size());
+  }
+
+  std::ostringstream os;
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    std::vector<std::string> row(slots, std::string(width, '.'));
+    for (const Record& r : records_) {
+      if (r.worker.value() != w) continue;
+      const auto first =
+          static_cast<std::size_t>(std::max(0.0, r.start / slot + 0.25));
+      const auto last = static_cast<std::size_t>(
+          std::max(0.0, r.finish / slot - 0.25));
+      std::string code = cell_code(r.label);
+      code.resize(width, ' ');
+      for (std::size_t k = first; k <= last && k < slots; ++k) row[k] = code;
+    }
+    os << 'w' << w << " | ";
+    for (const std::string& cell : row) os << cell << ' ';
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace echelon::netsim

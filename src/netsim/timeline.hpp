@@ -1,0 +1,54 @@
+// ASCII Gantt rendering of per-worker computation timelines (the visual
+// language of the paper's Figs. 1a and 2).
+//
+// A TimelineRecorder subscribes to a simulator's task stream; `render`
+// quantizes the recorded executions into fixed-width slots and prints one
+// row per worker, e.g.
+//
+//   w0 | F0 F1 F2 F3 .. .. b3 b3 b2 b2 |
+//
+// Cells show a short code derived from the task label (by default: the
+// phase letter and trailing micro-batch/layer number); '..' marks idle.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "netsim/simulator.hpp"
+
+namespace echelon::netsim {
+
+class TimelineRecorder {
+ public:
+  struct Record {
+    WorkerId worker;
+    std::string label;
+    SimTime start = 0.0;
+    SimTime finish = 0.0;
+  };
+
+  // Subscribes to `sim`; the recorder must outlive the run.
+  explicit TimelineRecorder(Simulator& sim);
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+
+  // Renders rows for every worker seen. `slot` is the time quantum per
+  // cell; at most `max_slots` cells are drawn (the rest is elided).
+  [[nodiscard]] std::string render(Duration slot,
+                                   std::size_t max_slots = 100) const;
+
+  // Derives a <=3-char cell code from a task label: the first letter of the
+  // last alpha run plus the trailing number, e.g. "it0.f.s2.mb3" -> "f3".
+  [[nodiscard]] static std::string cell_code(const std::string& label);
+
+ private:
+  std::vector<Record> records_;
+  std::size_t worker_count_ = 0;
+};
+
+}  // namespace echelon::netsim

@@ -1,0 +1,61 @@
+// The EchelonFlow Agent (paper §5, Fig. 7).
+//
+// A shim between a DDLT framework and its message-passing backend. The
+// framework registers EchelonFlows (arrangement + per-flow info) through the
+// agent; when a computation produces data, the framework posts the flow and
+// the agent issues the communication call to the backend -- here, submitting
+// the flow to the simulated fabric, tagged so the coordinator can schedule
+// it. One agent serves one framework instance (one job); all agents share
+// the coordinator.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/simulator.hpp"
+#include "runtime/api.hpp"
+#include "runtime/coordinator.hpp"
+
+namespace echelon::runtime {
+
+class EchelonFlowAgent {
+ public:
+  EchelonFlowAgent(netsim::Simulator* sim, Coordinator* coordinator,
+                   JobId job, std::string framework_name = "framework");
+
+  [[nodiscard]] JobId job() const noexcept { return job_; }
+  [[nodiscard]] const std::string& framework_name() const noexcept {
+    return framework_name_;
+  }
+
+  // Forwards the request to the coordinator and remembers the per-flow info
+  // so post_flow can build the actual transfers.
+  EchelonFlowId register_echelonflow(EchelonFlowRequest request);
+
+  // The framework calls this when member `index` of `ef` has data ready.
+  // Returns the fabric-level flow id. `on_done` fires at completion (the
+  // agent's callback to the framework).
+  FlowId post_flow(EchelonFlowId ef, int index,
+                   netsim::Simulator::FlowCallback on_done = {});
+
+  [[nodiscard]] std::uint64_t posted_flows() const noexcept {
+    return posted_;
+  }
+
+ private:
+  struct Registration {
+    EchelonFlowRequest request;
+  };
+
+  netsim::Simulator* sim_;
+  Coordinator* coordinator_;
+  JobId job_;
+  std::string framework_name_;
+  std::unordered_map<std::uint64_t, Registration> registrations_;
+  std::uint64_t posted_ = 0;
+};
+
+}  // namespace echelon::runtime

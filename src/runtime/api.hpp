@@ -1,0 +1,38 @@
+// Framework-facing EchelonFlow API (paper Fig. 7).
+//
+// A DDLT framework breaks its workflow into EchelonFlows (as in §4) and
+// reports, per EchelonFlow, the arrangement function plus per-flow size,
+// source and destination. These are the exact fields the paper lists.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "echelon/arrangement.hpp"
+
+namespace echelon::runtime {
+
+struct FlowInfo {
+  Bytes size = 0.0;
+  NodeId src;
+  NodeId dst;
+};
+
+struct EchelonFlowRequest {
+  JobId job;
+  std::string label;
+  // "Shape" and "distance" from head-flow profiling (§3.1).
+  ef::Arrangement arrangement;
+  // Per-flow info, in arrangement (index) order; size must equal the
+  // arrangement's cardinality.
+  std::vector<FlowInfo> flows;
+  double weight = 1.0;
+
+  // Structural signature base for iterative-reuse scheduling (0 = none).
+  std::uint64_t signature_base = 0;
+};
+
+}  // namespace echelon::runtime

@@ -1,0 +1,138 @@
+// Message-passing backend facade (paper Fig. 7: NCCL / Gloo / MPI).
+//
+// Frameworks issue collective calls; the backend decomposes each call into
+// fabric flows. Different backends favour different algorithms -- NCCL's
+// ring, MPI's direct exchange -- and the choice changes the flow structure
+// the scheduler sees, so the facade keeps the decomposition strategy
+// explicit and swappable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+#include "collective/hd.hpp"
+#include "collective/p2p.hpp"
+#include "collective/ps.hpp"
+#include "collective/ring.hpp"
+
+namespace echelon::runtime {
+
+enum class BackendKind {
+  kNccl,  // ring collectives (reduce-scatter + all-gather)
+  kGloo,  // recursive halving-doubling (falls back to ring off powers of 2)
+  kMpi,   // direct all-to-all exchange
+};
+
+[[nodiscard]] constexpr const char* to_string(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kNccl: return "nccl";
+    case BackendKind::kGloo: return "gloo";
+    case BackendKind::kMpi: return "mpi";
+  }
+  return "?";
+}
+
+class Backend {
+ public:
+  explicit Backend(BackendKind kind) : kind_(kind) {}
+
+  [[nodiscard]] BackendKind kind() const noexcept { return kind_; }
+
+  // Number of flows an all-reduce over m ranks expands into -- needed by
+  // callers to size the EchelonFlow arrangement before decomposing.
+  [[nodiscard]] int all_reduce_cardinality(int ranks) const noexcept {
+    switch (kind_) {
+      case BackendKind::kMpi:
+        // Scatter round (shards to owners) + gather round (reduced shards
+        // back): 2 * m(m-1) flows.
+        return 2 * ranks * (ranks - 1);
+      case BackendKind::kGloo:
+        if (collective::is_power_of_two(static_cast<std::size_t>(ranks))) {
+          int log2 = 0;
+          while ((1 << log2) < ranks) ++log2;
+          return 2 * ranks * log2;  // hd rs + ag: m flows per round
+        }
+        [[fallthrough]];
+      case BackendKind::kNccl:
+        return 2 * ranks * (ranks - 1);  // ring rs + ag
+    }
+    return 0;
+  }
+
+  [[nodiscard]] bool uses_hd(std::size_t ranks) const noexcept {
+    return kind_ == BackendKind::kGloo && collective::is_power_of_two(ranks);
+  }
+
+  [[nodiscard]] collective::CollectiveHandles all_reduce(
+      netsim::Workflow& wf, const std::vector<NodeId>& hosts,
+      Bytes data_bytes, collective::FlowTag& tag,
+      const std::string& label) const {
+    if (kind_ == BackendKind::kMpi) {
+      // Direct exchange: a scatter round (every rank ships each shard to
+      // its owner, bytes/m per pair), local reduction, then a gather round
+      // returning the reduced shards -- 2 * m(m-1) flows, same per-rank
+      // volume as the ring (2(m-1)/m * data).
+      const Bytes per_pair =
+          data_bytes / static_cast<double>(hosts.size());
+      auto scatter =
+          collective::all_to_all(wf, hosts, per_pair, tag, label + ".sc");
+      auto gather =
+          collective::all_to_all(wf, hosts, per_pair, tag, label + ".ga");
+      wf.add_dep(scatter.done, gather.start);
+      collective::CollectiveHandles h;
+      h.start = scatter.start;
+      h.done = gather.done;
+      h.flow_nodes = std::move(scatter.flow_nodes);
+      h.flow_nodes.insert(h.flow_nodes.end(), gather.flow_nodes.begin(),
+                          gather.flow_nodes.end());
+      return h;
+    }
+    if (uses_hd(hosts.size())) {
+      return collective::hd_all_reduce(wf, hosts, data_bytes, tag, label);
+    }
+    return collective::ring_all_reduce(wf, hosts, data_bytes, tag, label);
+  }
+
+  [[nodiscard]] collective::CollectiveHandles all_gather(
+      netsim::Workflow& wf, const std::vector<NodeId>& hosts,
+      Bytes data_bytes, collective::FlowTag& tag,
+      const std::string& label) const {
+    if (kind_ == BackendKind::kMpi) {
+      return collective::all_to_all(
+          wf, hosts, data_bytes / static_cast<double>(hosts.size()), tag,
+          label);
+    }
+    if (uses_hd(hosts.size())) {
+      return collective::hd_all_gather(wf, hosts, data_bytes, tag, label);
+    }
+    return collective::ring_all_gather(wf, hosts, data_bytes, tag, label);
+  }
+
+  [[nodiscard]] collective::CollectiveHandles reduce_scatter(
+      netsim::Workflow& wf, const std::vector<NodeId>& hosts,
+      Bytes data_bytes, collective::FlowTag& tag,
+      const std::string& label) const {
+    if (kind_ == BackendKind::kMpi) {
+      return collective::all_to_all(
+          wf, hosts, data_bytes / static_cast<double>(hosts.size()), tag,
+          label);
+    }
+    if (uses_hd(hosts.size())) {
+      return collective::hd_reduce_scatter(wf, hosts, data_bytes, tag, label);
+    }
+    return collective::ring_reduce_scatter(wf, hosts, data_bytes, tag, label);
+  }
+
+  [[nodiscard]] collective::CollectiveHandles send(
+      netsim::Workflow& wf, NodeId src, NodeId dst, Bytes bytes,
+      collective::FlowTag& tag, const std::string& label) const {
+    return collective::p2p(wf, src, dst, bytes, tag, label);
+  }
+
+ private:
+  BackendKind kind_;
+};
+
+}  // namespace echelon::runtime

@@ -1,0 +1,99 @@
+#include "topology/builders.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace echelon::topology {
+
+BuiltFabric make_big_switch(int num_hosts, BytesPerSec port_capacity) {
+  assert(num_hosts > 0);
+  BuiltFabric out;
+  const NodeId sw = out.topo.add_switch("xbar", 2);
+  out.hosts.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    const NodeId host = out.topo.add_host("h" + std::to_string(h));
+    out.topo.add_duplex(host, sw, port_capacity);
+    out.hosts.push_back(host);
+  }
+  return out;
+}
+
+BuiltFabric make_leaf_spine(const LeafSpineConfig& cfg) {
+  assert(cfg.leaves > 0 && cfg.spines > 0 && cfg.hosts_per_leaf > 0);
+  BuiltFabric out;
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+  leaves.reserve(static_cast<std::size_t>(cfg.leaves));
+  spines.reserve(static_cast<std::size_t>(cfg.spines));
+  for (int s = 0; s < cfg.spines; ++s) {
+    spines.push_back(out.topo.add_switch("spine" + std::to_string(s), 1));
+  }
+  for (int l = 0; l < cfg.leaves; ++l) {
+    const NodeId leaf = out.topo.add_switch("leaf" + std::to_string(l), 0);
+    leaves.push_back(leaf);
+    for (const NodeId spine : spines) {
+      out.topo.add_duplex(leaf, spine, cfg.uplink);
+    }
+    for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+      const NodeId host = out.topo.add_host(
+          "h" + std::to_string(l) + "_" + std::to_string(h));
+      out.topo.add_duplex(host, leaf, cfg.host_link);
+      out.hosts.push_back(host);
+    }
+  }
+  return out;
+}
+
+BuiltFabric make_fat_tree(int k, BytesPerSec link_capacity) {
+  assert(k >= 2 && k % 2 == 0);
+  BuiltFabric out;
+  const int half = k / 2;
+
+  // Core layer: (k/2)^2 switches, arranged as a half x half grid.
+  std::vector<NodeId> core;
+  core.reserve(static_cast<std::size_t>(half * half));
+  for (int i = 0; i < half * half; ++i) {
+    core.push_back(out.topo.add_switch("core" + std::to_string(i), 2));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs;
+    std::vector<NodeId> edges;
+    for (int a = 0; a < half; ++a) {
+      aggs.push_back(out.topo.add_switch(
+          "agg" + std::to_string(pod) + "_" + std::to_string(a), 1));
+    }
+    for (int e = 0; e < half; ++e) {
+      edges.push_back(out.topo.add_switch(
+          "edge" + std::to_string(pod) + "_" + std::to_string(e), 0));
+    }
+    // Agg a in each pod connects to core switches [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        out.topo.add_duplex(aggs[static_cast<std::size_t>(a)],
+                            core[static_cast<std::size_t>(a * half + c)],
+                            link_capacity);
+      }
+    }
+    // Full bipartite edge <-> agg within the pod.
+    for (const NodeId agg : aggs) {
+      for (const NodeId edge : edges) {
+        out.topo.add_duplex(edge, agg, link_capacity);
+      }
+    }
+    // k/2 hosts per edge switch.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        const NodeId host =
+            out.topo.add_host("h" + std::to_string(pod) + "_" +
+                              std::to_string(e) + "_" + std::to_string(h));
+        out.topo.add_duplex(host, edges[static_cast<std::size_t>(e)],
+                            link_capacity);
+        out.hosts.push_back(host);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace echelon::topology

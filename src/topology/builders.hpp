@@ -1,0 +1,44 @@
+// Canned topology builders.
+//
+// * Big switch: the non-blocking fabric abstraction used throughout the
+//   Coflow literature (Varys, Sincronia): each host has an ingress and an
+//   egress port of capacity B attached to one giant crossbar; flows contend
+//   only at ports. This is the default fabric for EchelonFlow experiments.
+// * Leaf-spine: two-tier Clos with a configurable oversubscription ratio,
+//   for topology-sensitive experiments where core contention matters.
+// * Fat-tree: canonical k-ary three-tier fat-tree.
+
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::topology {
+
+struct BuiltFabric {
+  Topology topo;
+  std::vector<NodeId> hosts;
+};
+
+// `num_hosts` hosts, each connected to a single crossbar switch by a duplex
+// link of `port_capacity`. The switch itself never bottlenecks.
+[[nodiscard]] BuiltFabric make_big_switch(int num_hosts,
+                                          BytesPerSec port_capacity);
+
+struct LeafSpineConfig {
+  int leaves = 4;
+  int spines = 2;
+  int hosts_per_leaf = 8;
+  BytesPerSec host_link = 0.0;   // host <-> leaf
+  BytesPerSec uplink = 0.0;      // leaf <-> spine (per spine)
+};
+
+[[nodiscard]] BuiltFabric make_leaf_spine(const LeafSpineConfig& cfg);
+
+// k-ary fat-tree: k pods, (k/2)^2 core switches, k^3/4 hosts. `k` must be
+// even and >= 2. Every link has capacity `link_capacity` (full bisection).
+[[nodiscard]] BuiltFabric make_fat_tree(int k, BytesPerSec link_capacity);
+
+}  // namespace echelon::topology

@@ -1,0 +1,106 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace echelon::topology {
+
+NodeId Topology::add_node(NodeKind kind, std::string name, int tier) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(Node{id, kind, std::move(name), tier});
+  adjacency_.emplace_back();
+  return id;
+}
+
+NodeId Topology::add_host(std::string name) {
+  return add_node(NodeKind::kHost, std::move(name), 0);
+}
+
+NodeId Topology::add_switch(std::string name, int tier) {
+  return add_node(NodeKind::kSwitch, std::move(name), tier);
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, BytesPerSec capacity) {
+  const LinkId id{links_.size()};
+  links_.push_back(Link{id, src, dst, capacity});
+  adjacency_.at(src.value()).push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_duplex(NodeId a, NodeId b,
+                                               BytesPerSec capacity) {
+  return {add_link(a, b, capacity), add_link(b, a, capacity)};
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (is_host(n)) out.push_back(n.id);
+  }
+  return out;
+}
+
+namespace {
+// Mixes the ECMP seed with a candidate link id to pick deterministically
+// among equal-cost next hops.
+std::uint64_t ecmp_mix(std::uint64_t seed, std::uint64_t v) noexcept {
+  std::uint64_t x = seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+std::optional<Path> Topology::route(NodeId src, NodeId dst,
+                                    std::uint64_t ecmp_seed) const {
+  if (src == dst) return Path{};
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+  // BFS from dst over reversed edges to get hop distance to dst from every
+  // node; then walk forward from src always decreasing the distance, picking
+  // among ties by ECMP hash.
+  std::vector<std::uint32_t> dist(nodes_.size(), kUnreached);
+  std::vector<std::vector<LinkId>> in_links(nodes_.size());
+  for (const auto& l : links_) in_links[l.dst.value()].push_back(l.id);
+
+  std::deque<NodeId> queue;
+  dist[dst.value()] = 0;
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (LinkId lid : in_links[cur.value()]) {
+      const NodeId prev = links_[lid.value()].src;
+      if (dist[prev.value()] == kUnreached) {
+        dist[prev.value()] = dist[cur.value()] + 1;
+        queue.push_back(prev);
+      }
+    }
+  }
+  if (dist[src.value()] == kUnreached) return std::nullopt;
+
+  Path path;
+  NodeId cur = src;
+  while (cur != dst) {
+    const std::uint32_t want = dist[cur.value()] - 1;
+    LinkId best = LinkId::invalid();
+    std::uint64_t best_hash = 0;
+    for (LinkId lid : adjacency_[cur.value()]) {
+      const Link& l = links_[lid.value()];
+      if (dist[l.dst.value()] != want) continue;
+      const std::uint64_t h = ecmp_mix(ecmp_seed, lid.value());
+      if (!best.valid() || h < best_hash) {
+        best = lid;
+        best_hash = h;
+      }
+    }
+    // dist[src] was reachable, so a next hop always exists.
+    path.push_back(best);
+    cur = links_[best.value()].dst;
+  }
+  return path;
+}
+
+}  // namespace echelon::topology

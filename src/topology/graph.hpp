@@ -1,0 +1,81 @@
+// Topology graph with deterministic shortest-path (ECMP-hashed) routing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "topology/link.hpp"
+#include "topology/node.hpp"
+
+namespace echelon::topology {
+
+// A routed path is the ordered list of directed links a flow traverses.
+using Path = std::vector<LinkId>;
+
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId add_host(std::string name);
+  NodeId add_switch(std::string name, int tier = 0);
+
+  // Adds a single directed link. Returns its id.
+  LinkId add_link(NodeId src, NodeId dst, BytesPerSec capacity);
+
+  // Changes a link's capacity at runtime -- models failures, degradation
+  // (flaky optics, congestion from external tenants) and recovery. Callers
+  // driving a live simulation must invalidate its allocation afterwards so
+  // rates are recomputed against the new capacity.
+  void set_link_capacity(LinkId id, BytesPerSec capacity) {
+    links_.at(id.value()).capacity = capacity;
+  }
+
+  // Adds a full-duplex cable: two directed links. Returns {src->dst, dst->src}.
+  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b,
+                                       BytesPerSec capacity);
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.value()); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id.value()); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+  [[nodiscard]] std::vector<NodeId> hosts() const;
+
+  // Shortest path (hop count) from src to dst. Among equal-cost paths the
+  // choice is deterministic in `ecmp_seed`, so a given flow always takes the
+  // same path while different flows spread across parallel links.
+  // Returns std::nullopt when dst is unreachable.
+  [[nodiscard]] std::optional<Path> route(NodeId src, NodeId dst,
+                                          std::uint64_t ecmp_seed = 0) const;
+
+  // Out-edges of a node (link ids).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId n) const {
+    return adjacency_.at(n.value());
+  }
+
+  // Structural copy with every link capacity replaced. Node and link ids are
+  // preserved, so workflows built against this topology run unchanged on the
+  // clone -- used for "infinitely fast network" profiling runs.
+  [[nodiscard]] Topology clone_with_capacity(BytesPerSec capacity) const {
+    Topology t = *this;
+    for (Link& l : t.links_) l.capacity = capacity;
+    return t;
+  }
+
+ private:
+  NodeId add_node(NodeKind kind, std::string name, int tier);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;  // indexed by node id
+};
+
+}  // namespace echelon::topology

@@ -1,0 +1,21 @@
+// Directed capacity-bounded link.
+//
+// All links are directed: a full-duplex cable is modeled as two Links. This
+// matches the big-switch abstraction of the Coflow literature, where a host's
+// NIC has independent ingress and egress capacity.
+
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace echelon::topology {
+
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  BytesPerSec capacity = 0.0;
+};
+
+}  // namespace echelon::topology

@@ -1,0 +1,27 @@
+// Network node model: hosts (GPU servers) and switches.
+
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace echelon::topology {
+
+enum class NodeKind { kHost, kSwitch };
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+
+  // For switches: tier in the topology (0 = edge/leaf, 1 = agg/spine,
+  // 2 = core). Unused for hosts.
+  int tier = 0;
+};
+
+[[nodiscard]] constexpr bool is_host(const Node& n) noexcept {
+  return n.kind == NodeKind::kHost;
+}
+
+}  // namespace echelon::topology

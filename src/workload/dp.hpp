@@ -1,0 +1,52 @@
+// Data-parallel training workflows (paper Fig. 4).
+//
+// Both variants replicate the model on every rank. Per iteration: a forward
+// pass, then backward computed bucket-by-bucket in reverse layer order with
+// gradient synchronization overlapping the remaining backward computation
+// (PyTorch-DDP style bucketing, as the paper describes in §4 Case I).
+//
+// * AllReduce flavor: each bucket's gradients are ring-all-reduced; the
+//   bucket's flows form one Coflow-compliant EchelonFlow (Eq. 5).
+// * Parameter-server flavor: each bucket's gradients are pushed to the PS
+//   (one Coflow per bucket); after the PS applies the update, the fresh
+//   weights are pulled by all workers (one more Coflow gating the next
+//   iteration).
+
+#pragma once
+
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+struct DpAllReduceConfig {
+  ModelSpec model;
+  GpuSpec gpu;
+  int buckets = 4;
+  int iterations = 2;
+  // Optimizer step cost as a fraction of the forward-pass time.
+  double optimizer_fraction = 0.05;
+};
+
+[[nodiscard]] GeneratedJob generate_dp_allreduce(const DpAllReduceConfig& cfg,
+                                                 const Placement& placement,
+                                                 ef::Registry& registry,
+                                                 JobId job);
+
+struct DpPsConfig {
+  ModelSpec model;
+  GpuSpec gpu;
+  int buckets = 4;
+  int iterations = 2;
+  double optimizer_fraction = 0.05;
+  // PS-side aggregation+update cost per bucket, as a fraction of the
+  // forward-pass time.
+  double ps_update_fraction = 0.02;
+};
+
+// `placement` holds the worker ranks; the PS is a separate node/worker.
+[[nodiscard]] GeneratedJob generate_dp_ps(const DpPsConfig& cfg,
+                                          const Placement& placement,
+                                          NodeId ps_host, WorkerId ps_worker,
+                                          ef::Registry& registry, JobId job);
+
+}  // namespace echelon::workload

@@ -1,0 +1,34 @@
+// Expert Parallelism (Mixture-of-Experts) workflow -- an extensibility
+// demonstration.
+//
+// The paper closes §1 noting EchelonFlow "is also extensible to future DDLT
+// paradigms, as long as their computation patterns can be profiled". MoE
+// training (GShard/Switch-Transformer style) is the canonical post-paper
+// paradigm: every layer routes tokens to experts sharded across all ranks
+// with an all-to-all, computes the expert FFN, and routes results back with
+// a second all-to-all. Both all-to-alls barrier the next computation, so --
+// like TP -- each one forms a Coflow-compliant EchelonFlow; the paradigm
+// slots into the abstraction with zero changes to the scheduler, which is
+// the point.
+
+#pragma once
+
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+struct ExpertConfig {
+  ModelSpec model;
+  GpuSpec gpu;
+  int iterations = 2;
+  // Fraction of each layer's activation volume crossing the network in one
+  // all-to-all (capacity-factor x routed share; ~1.0 for top-1 routing).
+  double routed_fraction = 1.0;
+  double optimizer_fraction = 0.05;
+};
+
+[[nodiscard]] GeneratedJob generate_expert(const ExpertConfig& cfg,
+                                           const Placement& placement,
+                                           ef::Registry& registry, JobId job);
+
+}  // namespace echelon::workload

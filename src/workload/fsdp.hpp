@@ -1,0 +1,38 @@
+// Fully-Sharded Data Parallelism (ZeRO-3) workflow (paper Fig. 3, §4 Case III).
+//
+// Parameters are sharded across all ranks. Per layer, an all-gather
+// assembles the full weights before the forward (and again before the
+// backward) computation; after each layer's backward, a reduce-scatter
+// dispatches gradient shards to their owners.
+//
+// EchelonFlow structure (the paper's headline non-Coflow case):
+//   * All all-gather flows of one iteration form a single EchelonFlow whose
+//     elements are the per-layer all-gather *Coflows*, staggered by the
+//     profiled per-layer compute times -- the Eq. 7 arrangement
+//     ("staggered Coflow finish time" in Table 1).
+//   * Each layer's reduce-scatter forms an ordinary Coflow (Eq. 5), like
+//     gradient buckets in DP.
+
+#pragma once
+
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+struct FsdpConfig {
+  ModelSpec model;
+  GpuSpec gpu;
+  int iterations = 2;
+  double optimizer_fraction = 0.05;
+
+  // Multiplicative per-task compute jitter (relative stddev, 0 = exact);
+  // see PipelineConfig::compute_jitter.
+  double compute_jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+[[nodiscard]] GeneratedJob generate_fsdp(const FsdpConfig& cfg,
+                                         const Placement& placement,
+                                         ef::Registry& registry, JobId job);
+
+}  // namespace echelon::workload

@@ -1,0 +1,40 @@
+// GPU compute-time model.
+//
+// Dedicated, monolithic GPUs (the paper's target configuration, §5) have
+// highly predictable kernel times, so a sustained-throughput model --
+// duration = FLOPs / (peak * efficiency) -- captures what the EchelonFlow
+// profiler measures on real hardware.
+
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+
+namespace echelon::workload {
+
+struct GpuSpec {
+  std::string name;
+  double peak_flops = 0.0;   // per second
+  double efficiency = 0.4;   // fraction of peak sustained in training
+
+  [[nodiscard]] Duration compute_time(double flops) const noexcept {
+    return flops / (peak_flops * efficiency);
+  }
+};
+
+[[nodiscard]] inline GpuSpec a100() {
+  return GpuSpec{.name = "A100", .peak_flops = 312e12, .efficiency = 0.45};
+}
+
+[[nodiscard]] inline GpuSpec v100() {
+  return GpuSpec{.name = "V100", .peak_flops = 125e12, .efficiency = 0.40};
+}
+
+// A deliberately slow "unit" GPU for analytically tractable tests: one FLOP
+// per second so task durations equal FLOP counts.
+[[nodiscard]] inline GpuSpec unit_gpu() {
+  return GpuSpec{.name = "unit", .peak_flops = 1.0, .efficiency = 1.0};
+}
+
+}  // namespace echelon::workload

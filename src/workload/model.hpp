@@ -1,0 +1,110 @@
+// Neural-network model descriptions used to synthesize training workloads.
+//
+// A ModelSpec is a per-layer inventory of the quantities that drive
+// communication and computation in distributed training:
+//   * parameter count      -> gradient / weight-shard flow sizes
+//   * activation bytes     -> pipeline-parallel p2p flow sizes and
+//                             tensor-parallel all-reduce sizes
+//   * forward/backward FLOPs -> compute-task durations (via GpuSpec)
+//
+// Factories below produce standard shapes: uniform MLP stacks and
+// transformer blocks with the usual 12*h^2 parameter and ~2*P*tokens FLOP
+// approximations. Absolute realism is not required -- experiments depend on
+// the *ratios* between computation and communication, which these formulas
+// get right -- but the knobs are all exposed for custom models.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace echelon::workload {
+
+struct LayerSpec {
+  std::string name;
+  std::uint64_t params = 0;        // learnable parameters in this layer
+  Bytes activation_bytes = 0.0;    // output activation size per micro-batch
+  double fwd_flops = 0.0;          // forward FLOPs per micro-batch
+  double bwd_flops = 0.0;          // backward FLOPs per micro-batch
+};
+
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  double bytes_per_element = 4.0;  // fp32 = 4, fp16/bf16 = 2
+
+  [[nodiscard]] std::uint64_t total_params() const noexcept {
+    std::uint64_t p = 0;
+    for (const LayerSpec& l : layers) p += l.params;
+    return p;
+  }
+  [[nodiscard]] Bytes total_param_bytes() const noexcept {
+    return static_cast<double>(total_params()) * bytes_per_element;
+  }
+  [[nodiscard]] Bytes layer_param_bytes(std::size_t i) const {
+    return static_cast<double>(layers.at(i).params) * bytes_per_element;
+  }
+  [[nodiscard]] double total_fwd_flops() const noexcept {
+    double f = 0.0;
+    for (const LayerSpec& l : layers) f += l.fwd_flops;
+    return f;
+  }
+  [[nodiscard]] double total_bwd_flops() const noexcept {
+    double f = 0.0;
+    for (const LayerSpec& l : layers) f += l.bwd_flops;
+    return f;
+  }
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers.size();
+  }
+};
+
+// Uniform stack of fully-connected layers of `width` units, batch size
+// `batch`. Parameters per layer: width^2 (+bias, ignored); FLOPs:
+// 2*batch*width^2 forward and twice that backward.
+[[nodiscard]] inline ModelSpec make_mlp(int layers, int width, int batch,
+                                        double bytes_per_element = 4.0) {
+  ModelSpec m;
+  m.name = "mlp" + std::to_string(layers) + "x" + std::to_string(width);
+  m.bytes_per_element = bytes_per_element;
+  for (int l = 0; l < layers; ++l) {
+    LayerSpec s;
+    s.name = "fc" + std::to_string(l);
+    s.params = static_cast<std::uint64_t>(width) * width;
+    s.activation_bytes =
+        static_cast<double>(batch) * width * bytes_per_element;
+    s.fwd_flops = 2.0 * batch * static_cast<double>(width) * width;
+    s.bwd_flops = 2.0 * s.fwd_flops;
+    m.layers.push_back(std::move(s));
+  }
+  return m;
+}
+
+// Transformer of `blocks` layers, hidden size `hidden`, sequence length
+// `seq`, micro-batch size `batch`. Per block: 12*hidden^2 parameters;
+// forward FLOPs ~ 2 * params * batch * seq (dense ops dominate);
+// activations: batch * seq * hidden elements.
+[[nodiscard]] inline ModelSpec make_transformer(
+    int blocks, int hidden, int seq, int batch,
+    double bytes_per_element = 2.0) {
+  ModelSpec m;
+  m.name = "tfm" + std::to_string(blocks) + "x" + std::to_string(hidden);
+  m.bytes_per_element = bytes_per_element;
+  for (int b = 0; b < blocks; ++b) {
+    LayerSpec s;
+    s.name = "block" + std::to_string(b);
+    s.params = 12ULL * static_cast<std::uint64_t>(hidden) * hidden;
+    s.activation_bytes = static_cast<double>(batch) * seq * hidden *
+                         bytes_per_element;
+    s.fwd_flops = 2.0 * static_cast<double>(s.params) * batch * seq;
+    s.bwd_flops = 2.0 * s.fwd_flops;
+    m.layers.push_back(std::move(s));
+  }
+  return m;
+}
+
+}  // namespace echelon::workload

@@ -1,0 +1,37 @@
+#include "workload/paradigm.hpp"
+
+#include <cassert>
+
+namespace echelon::workload {
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_layers(
+    const ModelSpec& model, std::size_t parts) {
+  const std::size_t n = model.layer_count();
+  assert(parts >= 1);
+  assert(parts <= n && "cannot split a model into more parts than layers");
+
+  const double total = model.total_fwd_flops();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(parts);
+  std::size_t begin = 0;
+  double acc = 0.0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const double target = total * static_cast<double>(p + 1) /
+                          static_cast<double>(parts);
+    std::size_t end = begin;
+    // Leave enough layers for the remaining parts (each needs >= 1).
+    const std::size_t max_end = n - (parts - 1 - p);
+    while (end < max_end) {
+      acc += model.layers[end].fwd_flops;
+      ++end;
+      if (acc >= target && end > begin) break;
+    }
+    if (end == begin) end = begin + 1;  // degenerate flops: force progress
+    out.emplace_back(begin, end);
+    begin = end;
+  }
+  out.back().second = n;  // absorb any remainder into the last part
+  return out;
+}
+
+}  // namespace echelon::workload

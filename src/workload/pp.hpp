@@ -1,0 +1,61 @@
+// Pipeline-parallel training workflows (paper Figs. 1, 2, 6; §4 Case II).
+//
+// The model is split into contiguous stages, one rank each; every mini-batch
+// is split into micro-batches that stream through the stages. Activations
+// flow stage s -> s+1 in the forward phase and their gradients flow
+// s+1 -> s in the backward phase.
+//
+// Two schedules are provided:
+//  * GPipe: all forwards, then all backwards in reverse micro-batch order
+//    (Fig. 1a).
+//  * 1F1B (PipeDream-flush style): steady-state alternation of one forward
+//    and one backward per stage, reducing the bubble -- the paper notes
+//    later PP variants "reorder computations ... to reduce the computation
+//    idleness" and still form EchelonFlows with a (more complicated)
+//    arrangement function.
+//
+// EchelonFlows: for every consecutive rank pair and direction, the per-
+// micro-batch flows form an EchelonFlow with the Eq. 6 pipeline arrangement,
+// where the distance T is the consuming stage's per-micro-batch compute
+// time (obtained by profiling on real systems; analytically here).
+
+#pragma once
+
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+enum class PipelineSchedule { kGpipe, kOneFOneB };
+
+struct PipelineConfig {
+  ModelSpec model;  // quantities are per *micro-batch*
+  GpuSpec gpu;
+  int micro_batches = 4;
+  int iterations = 2;
+  PipelineSchedule schedule = PipelineSchedule::kGpipe;
+  double optimizer_fraction = 0.05;
+
+  // Multiplicative per-task compute jitter (relative stddev, 0 = exact).
+  // The declared arrangement stays at the *profiled mean*, so jitter models
+  // real runs deviating from the profile -- the assumption §5 flags
+  // ("relies on accurate profiling of the computation time").
+  double compute_jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+// One pipeline stage per placement rank (placement.size() stages).
+[[nodiscard]] GeneratedJob generate_pipeline(const PipelineConfig& cfg,
+                                             const Placement& placement,
+                                             ef::Registry& registry,
+                                             JobId job);
+
+// Analytic GPipe bubble fraction for p stages and m micro-batches with
+// uniform stage times: (p - 1) / (m + p - 1). Used by FIG1 to cross-check
+// measured idleness.
+[[nodiscard]] constexpr double gpipe_bubble_fraction(int stages,
+                                                     int micro_batches) {
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(micro_batches + stages - 1);
+}
+
+}  // namespace echelon::workload

@@ -1,0 +1,89 @@
+#include "workload/profiler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace echelon::workload {
+
+Duration ProfileResult::mean_task_duration(std::string_view prefix) const {
+  Duration sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [label, times] : tasks) {
+    if (label.size() >= prefix.size() &&
+        std::string_view(label).substr(0, prefix.size()) == prefix) {
+      sum += times.finish - times.start;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+ProfileResult profile_job(const GeneratedJob& job,
+                          const topology::Topology& topo,
+                          const std::vector<NodeId>& hosts_by_worker,
+                          BytesPerSec profiling_capacity) {
+  const topology::Topology fast = topo.clone_with_capacity(profiling_capacity);
+  netsim::Simulator sim(&fast);
+  for (std::size_t w = 0; w < hosts_by_worker.size(); ++w) {
+    sim.add_worker(hosts_by_worker[w]);
+  }
+
+  ProfileResult result;
+
+  // Flow starts: group -> (index -> start time).
+  std::unordered_map<std::uint64_t, std::unordered_map<int, SimTime>> starts;
+  sim.add_flow_arrival_listener(
+      [&starts](netsim::Simulator& s, const netsim::Flow& f) {
+        if (!f.spec.group.valid()) return;
+        starts[f.spec.group.value()][f.spec.index_in_group] = s.now();
+      });
+  sim.add_task_listener(
+      [&result](netsim::Simulator&, const netsim::ComputeTask& t) {
+        result.tasks[t.label] =
+            ProfileResult::TaskTimes{t.start_time, t.finish_time};
+      });
+
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  const SimTime end = sim.run();
+  result.makespan = end;
+  assert(engine.finished() && "profiling run did not drain the workflow");
+
+  // Convert absolute start times into head-relative offsets per EchelonFlow.
+  for (const auto& [group, by_index] : starts) {
+    int max_index = -1;
+    SimTime head = kTimeInfinity;
+    for (const auto& [idx, t] : by_index) {
+      max_index = std::max(max_index, idx);
+      head = std::min(head, t);
+    }
+    std::vector<Duration> offsets(static_cast<std::size_t>(max_index + 1),
+                                  kTimeInfinity);
+    for (const auto& [idx, t] : by_index) {
+      offsets[static_cast<std::size_t>(idx)] = t - head;
+    }
+    result.offsets[group] = std::move(offsets);
+  }
+  return result;
+}
+
+void calibrate_registry(const GeneratedJob& job, const ProfileResult& profile,
+                        ef::Registry& registry) {
+  for (EchelonFlowId id : job.echelonflows) {
+    const auto it = profile.offsets.find(id.value());
+    if (it == profile.offsets.end()) continue;
+    ef::EchelonFlow& ef = registry.get(id);
+    if (static_cast<int>(it->second.size()) != ef.cardinality()) continue;
+
+    // Monotonize: flow indices are emission order, which matches start order
+    // up to floating-point jitter; Arrangement requires non-decreasing
+    // offsets.
+    std::vector<Duration> offsets = it->second;
+    for (std::size_t j = 1; j < offsets.size(); ++j) {
+      offsets[j] = std::max(offsets[j], offsets[j - 1]);
+    }
+    ef.set_arrangement(ef::Arrangement::from_offsets(std::move(offsets)));
+  }
+}
+
+}  // namespace echelon::workload

@@ -1,0 +1,62 @@
+// Computation profiling (paper §3.1 "distance ... can be profiled by
+// running a few training iterations", §5 "Profiling" input to the agent).
+//
+// The profiler executes a generated job on a structurally identical fabric
+// whose links are effectively infinite, so every flow completes the moment
+// it starts. The flow *start* times observed in that run are, by the paper's
+// definition, the ideal finish times: "assuming zero data transmission time,
+// the ideal flow finish time is its start time". Per EchelonFlow, the
+// offsets of those times from the head flow's give a measured arrangement
+// function -- usable verbatim for paradigms whose analytic arrangement is
+// awkward (e.g. 1F1B pipeline reordering, heterogeneous layers).
+//
+// Also extracts per-label compute durations ("distance" calibration) for
+// tests and reports.
+
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "echelon/registry.hpp"
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+struct ProfileResult {
+  // EchelonFlowId value -> per-member ideal-finish offsets (seconds from the
+  // head flow's start; index = index_in_group). kTimeInfinity for members
+  // that never appeared.
+  std::unordered_map<std::uint64_t, std::vector<Duration>> offsets;
+
+  // Label -> observed start/finish of every compute task with that label.
+  struct TaskTimes {
+    SimTime start = 0.0;
+    SimTime finish = 0.0;
+  };
+  std::unordered_map<std::string, TaskTimes> tasks;
+
+  // Wall-clock of the profiled run (first root release to last node).
+  Duration makespan = 0.0;
+
+  // Mean duration of compute tasks whose label starts with `prefix`.
+  [[nodiscard]] Duration mean_task_duration(std::string_view prefix) const;
+};
+
+// Runs `job` once on `topo` with all link capacities overridden to
+// `profiling_capacity` (default: effectively infinite). `hosts_by_worker`
+// maps WorkerId value -> attachment host, in worker-creation order, and must
+// cover every worker the job's workflow references.
+[[nodiscard]] ProfileResult profile_job(
+    const GeneratedJob& job, const topology::Topology& topo,
+    const std::vector<NodeId>& hosts_by_worker,
+    BytesPerSec profiling_capacity = 1e30);
+
+// Overwrites each of the job's EchelonFlow arrangements in `registry` with
+// the profiled offsets (monotonized against floating-point jitter). Call
+// before the real run binds any member flow.
+void calibrate_registry(const GeneratedJob& job, const ProfileResult& profile,
+                        ef::Registry& registry);
+
+}  // namespace echelon::workload

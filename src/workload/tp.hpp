@@ -1,0 +1,27 @@
+// Tensor-parallel (Megatron-style) training workflow (paper Fig. 5).
+//
+// Every layer's parameters are sharded across all ranks; each rank computes
+// 1/m of the layer's FLOPs. The forward pass runs an all-reduce per layer to
+// assemble activations (AS in Fig. 5); the backward pass runs one per layer
+// for the activation gradients (GS). Each all-reduce's flows barrier the
+// next layer's computation, so they form a Coflow-compliant EchelonFlow
+// (Eq. 5) -- §4 Case I.
+
+#pragma once
+
+#include "workload/paradigm.hpp"
+
+namespace echelon::workload {
+
+struct TensorConfig {
+  ModelSpec model;
+  GpuSpec gpu;
+  int iterations = 2;
+  double optimizer_fraction = 0.05;
+};
+
+[[nodiscard]] GeneratedJob generate_tensor(const TensorConfig& cfg,
+                                           const Placement& placement,
+                                           ef::Registry& registry, JobId job);
+
+}  // namespace echelon::workload

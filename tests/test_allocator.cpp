@@ -1,0 +1,229 @@
+// Unit and property tests for the demand-limited weighted max-min allocator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/allocator.hpp"
+#include "topology/builders.hpp"
+
+namespace echelon::netsim {
+namespace {
+
+// Builds a flow on the given fabric with routing resolved.
+Flow make_flow(const topology::BuiltFabric& f, std::size_t src,
+               std::size_t dst, Bytes size, std::uint64_t id = 0) {
+  Flow flow;
+  flow.id = FlowId{id};
+  flow.spec.src = f.hosts[src];
+  flow.spec.dst = f.hosts[dst];
+  flow.spec.size = size;
+  flow.remaining = size;
+  flow.path = *f.topo.route(f.hosts[src], f.hosts[dst], id);
+  return flow;
+}
+
+std::vector<Flow*> ptrs(std::vector<Flow>& flows) {
+  std::vector<Flow*> out;
+  for (Flow& f : flows) out.push_back(&f);
+  return out;
+}
+
+TEST(Allocator, SingleFlowGetsFullBandwidth) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 10.0);
+}
+
+TEST(Allocator, TwoFlowsSameLinkSplitEvenly) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 5.0);
+}
+
+TEST(Allocator, WeightsBiasShares) {
+  auto f = topology::make_big_switch(2, 9.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].weight = 2.0;
+  flows[1].weight = 1.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 6.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 3.0);
+}
+
+TEST(Allocator, CapIsHonoredAndLeftoverRedistributed) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].rate_cap = 2.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 2.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 8.0);  // work conserving for uncapped flows
+}
+
+TEST(Allocator, AllCappedLeavesCapacityUnused) {
+  // Non-work-conserving by design when every flow is capped: MADD needs
+  // exact pacing.
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].rate_cap = 2.0;
+  flows[1].rate_cap = 3.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 2.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 3.0);
+}
+
+TEST(Allocator, InfeasibleCapsDegradeGracefully) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].rate_cap = 8.0;
+  flows[1].rate_cap = 8.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  // Equal weights: both throttle to the fair share; capacity never exceeded.
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 5.0);
+}
+
+TEST(Allocator, DifferentDestinationsDontContend) {
+  auto f = topology::make_big_switch(4, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 2, 3, 100.0, 1)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 10.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 10.0);
+}
+
+TEST(Allocator, IngressBottleneckShared) {
+  // Two sources into one destination port.
+  auto f = topology::make_big_switch(3, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 2, 100.0, 0),
+                          make_flow(f, 1, 2, 100.0, 1)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate + flows[1].rate, 10.0);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+}
+
+TEST(Allocator, MaxMinUnevenDemands) {
+  // Three flows from distinct sources into one port; one is capped low, the
+  // other two split the rest (classic water-filling).
+  auto f = topology::make_big_switch(4, 9.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 3, 100.0, 0),
+                          make_flow(f, 1, 3, 100.0, 1),
+                          make_flow(f, 2, 3, 100.0, 2)};
+  flows[0].rate_cap = 1.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 1.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 4.0);
+  EXPECT_DOUBLE_EQ(flows[2].rate, 4.0);
+}
+
+TEST(Allocator, FinishedFlowsGetZero) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].state = FlowState::kFinished;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 0.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 10.0);
+}
+
+TEST(Allocator, EmptyPathGetsInfiniteRate) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  Flow loop = make_flow(f, 0, 1, 100.0);
+  loop.path.clear();  // loopback
+  std::vector<Flow> flows{std::move(loop)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_TRUE(std::isinf(flows[0].rate));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: on random instances, the allocation must (a) never exceed
+// any link capacity, (b) never exceed a flow's cap, and (c) be maximal for
+// uncapped flows (no uncapped flow can be raised without violating (a)).
+// ---------------------------------------------------------------------------
+
+class AllocatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorProperty, FeasibleAndMaximal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int hosts = 2 + static_cast<int>(rng.uniform_int(6));
+  const double cap = rng.uniform(1.0, 100.0);
+  auto f = topology::make_big_switch(hosts, cap);
+  RateAllocator alloc(&f.topo);
+
+  const int n = 1 + static_cast<int>(rng.uniform_int(20));
+  std::vector<Flow> flows;
+  for (int i = 0; i < n; ++i) {
+    std::size_t src = rng.uniform_int(static_cast<std::uint64_t>(hosts));
+    std::size_t dst = rng.uniform_int(static_cast<std::uint64_t>(hosts));
+    if (dst == src) dst = (dst + 1) % static_cast<std::size_t>(hosts);
+    Flow fl = make_flow(f, src, dst, 100.0, static_cast<std::uint64_t>(i));
+    fl.weight = rng.uniform(0.1, 4.0);
+    if (rng.bernoulli(0.5)) fl.rate_cap = rng.uniform(0.0, cap * 1.5);
+    flows.push_back(std::move(fl));
+  }
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+
+  // (a) capacity feasibility.
+  std::vector<double> load(f.topo.link_count(), 0.0);
+  for (const Flow& fl : flows) {
+    for (LinkId lid : fl.path) load[lid.value()] += fl.rate;
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], f.topo.link(LinkId{l}).capacity + 1e-6);
+  }
+  // (b) caps respected.
+  for (const Flow& fl : flows) {
+    EXPECT_GE(fl.rate, -1e-12);
+    if (fl.rate_cap) EXPECT_LE(fl.rate, *fl.rate_cap + 1e-9);
+  }
+  // (c) maximality: every uncapped flow is bottlenecked on some link.
+  for (const Flow& fl : flows) {
+    if (fl.rate_cap) continue;
+    bool bottlenecked = false;
+    for (LinkId lid : fl.path) {
+      if (load[lid.value()] >= f.topo.link(lid).capacity - 1e-6) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "uncapped flow not at a saturated link";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AllocatorProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace echelon::netsim

@@ -1,0 +1,162 @@
+// Unit tests for arrangement functions (Eqs. 5, 6, 7) and the EchelonFlow /
+// Registry runtime objects (Definitions 3.1-3.3).
+
+#include <gtest/gtest.h>
+
+#include "echelon/arrangement.hpp"
+#include "echelon/echelonflow.hpp"
+#include "echelon/registry.hpp"
+
+namespace echelon::ef {
+namespace {
+
+TEST(Arrangement, CoflowAllOffsetsZero) {
+  const Arrangement a = Arrangement::coflow(4);
+  EXPECT_EQ(a.size(), 4);
+  for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a.offset(j), 0.0);
+  EXPECT_TRUE(a.is_coflow_compliant());
+  EXPECT_EQ(a.describe(), "same flow finish time");
+}
+
+TEST(Arrangement, PipelineStaggersByT) {
+  const Arrangement a = Arrangement::pipeline(3, 1.5);
+  EXPECT_DOUBLE_EQ(a.offset(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.offset(1), 1.5);
+  EXPECT_DOUBLE_EQ(a.offset(2), 3.0);
+  EXPECT_FALSE(a.is_coflow_compliant());
+  EXPECT_EQ(a.describe(), "staggered flow finish time");
+}
+
+TEST(Arrangement, FsdpEq7Shape) {
+  // n=3 layers, 2 flows per stage, T_fwd=1, T_bwd=2.
+  const Arrangement a = Arrangement::fsdp(3, 2, 1.0, 2.0);
+  EXPECT_EQ(a.size(), 12);  // 2n stages x 2 flows
+  // Stage offsets: C0=0, C1=1, C2=2 (fwd, +T_fwd each); C3=4, C4=6, C5=8
+  // (bwd, +T_bwd each).
+  const double expected[] = {0, 0, 1, 1, 2, 2, 4, 4, 6, 6, 8, 8};
+  for (int j = 0; j < 12; ++j) EXPECT_DOUBLE_EQ(a.offset(j), expected[j]);
+  EXPECT_FALSE(a.is_coflow_compliant());
+  EXPECT_EQ(a.describe(), "staggered Coflow finish time");
+}
+
+TEST(Arrangement, StagedBuilder) {
+  const Arrangement a = Arrangement::staged({2, 3}, {0.0, 5.0});
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_DOUBLE_EQ(a.offset(1), 0.0);
+  EXPECT_DOUBLE_EQ(a.offset(2), 5.0);
+  EXPECT_DOUBLE_EQ(a.offset(4), 5.0);
+}
+
+TEST(Arrangement, EmptyIsCompliant) {
+  EXPECT_TRUE(Arrangement::coflow(0).is_coflow_compliant());
+}
+
+TEST(EchelonFlow, ReferenceTimeFixedByHeadFlow) {
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::pipeline(3, 2.0));
+  EXPECT_FALSE(h.reference_known());
+  EXPECT_EQ(h.ideal_finish(1), std::nullopt);
+
+  h.note_start(0, FlowId{10}, 4.0, /*now=*/5.0);
+  ASSERT_TRUE(h.reference_known());
+  EXPECT_DOUBLE_EQ(*h.reference_time(), 5.0);
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(0), 5.0);   // d_0 = r = s_0
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(1), 7.0);   // + T
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(2), 9.0);
+}
+
+TEST(EchelonFlow, LateFlowsKeepIdealFinishFromReference) {
+  // Fig. 6: flows that start late still get d_j derived from r, which may
+  // precede their own start time.
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::pipeline(2, 1.0));
+  h.note_start(0, FlowId{1}, 1.0, 0.0);
+  h.note_start(1, FlowId{2}, 1.0, /*now=*/10.0);  // very late
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(1), 1.0);      // r + T, not start-based
+}
+
+TEST(EchelonFlow, NonHeadFirstStarterAnchorsReference) {
+  // If (unusually) member 1 starts first, r is derived so that member 1's
+  // ideal finish equals its start.
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::pipeline(2, 3.0));
+  h.note_start(1, FlowId{2}, 1.0, /*now=*/10.0);
+  EXPECT_DOUBLE_EQ(*h.reference_time(), 7.0);
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(1), 10.0);
+  EXPECT_DOUBLE_EQ(*h.ideal_finish(0), 7.0);
+}
+
+TEST(EchelonFlow, TardinessIsMaxOverMembers) {
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::pipeline(2, 1.0));
+  h.note_start(0, FlowId{1}, 1.0, 0.0);  // d_0 = 0
+  h.note_start(1, FlowId{2}, 1.0, 0.5);  // d_1 = 1
+  h.note_finish(0, 2.0);                 // tardiness 2
+  EXPECT_DOUBLE_EQ(h.tardiness(), 2.0);
+  EXPECT_FALSE(h.complete());
+  h.note_finish(1, 2.5);                 // tardiness 1.5 -> max stays 2
+  EXPECT_TRUE(h.complete());
+  EXPECT_DOUBLE_EQ(h.tardiness(), 2.0);
+  EXPECT_DOUBLE_EQ(*h.flow_tardiness(1), 1.5);
+}
+
+TEST(EchelonFlow, CoflowCompletionTimeMetric) {
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::coflow(2));
+  h.note_start(0, FlowId{1}, 1.0, 1.0);
+  h.note_start(1, FlowId{2}, 1.0, 1.0);
+  h.note_finish(0, 3.0);
+  h.note_finish(1, 4.0);
+  ASSERT_TRUE(h.coflow_completion_time().has_value());
+  EXPECT_DOUBLE_EQ(*h.coflow_completion_time(), 3.0);  // last finish - r
+  // For a Coflow arrangement, tardiness == CCT (Property 2's metric map).
+  EXPECT_DOUBLE_EQ(h.tardiness(), 3.0);
+}
+
+TEST(EchelonFlow, SetArrangementBeforeStartOnly) {
+  EchelonFlow h(EchelonFlowId{0}, JobId{0}, Arrangement::coflow(2));
+  h.set_arrangement(Arrangement::pipeline(2, 1.0));
+  EXPECT_FALSE(h.arrangement().is_coflow_compliant());
+}
+
+TEST(Registry, CreateAssignsSequentialIds) {
+  Registry reg;
+  const EchelonFlowId a = reg.create(JobId{0}, Arrangement::coflow(1));
+  const EchelonFlowId b = reg.create(JobId{0}, Arrangement::coflow(1));
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains(a));
+  EXPECT_FALSE(reg.contains(EchelonFlowId{5}));
+  EXPECT_FALSE(reg.contains(EchelonFlowId::invalid()));
+}
+
+TEST(Registry, TotalTardinessSumsCompleteEchelonFlows) {
+  Registry reg;
+  const EchelonFlowId a = reg.create(JobId{0}, Arrangement::coflow(1), "", 1.0);
+  const EchelonFlowId b =
+      reg.create(JobId{0}, Arrangement::coflow(1), "", 3.0);
+  netsim::Flow fa;
+  fa.spec.group = a;
+  fa.spec.index_in_group = 0;
+  fa.id = FlowId{0};
+  reg.note_arrival(fa, 0.0);
+  reg.note_departure(fa, 2.0);
+  EXPECT_DOUBLE_EQ(reg.total_tardiness(), 2.0);
+
+  netsim::Flow fb;
+  fb.spec.group = b;
+  fb.spec.index_in_group = 0;
+  fb.id = FlowId{1};
+  reg.note_arrival(fb, 1.0);
+  reg.note_departure(fb, 2.0);
+  EXPECT_DOUBLE_EQ(reg.total_tardiness(), 3.0);           // Eq. 4
+  EXPECT_DOUBLE_EQ(reg.weighted_total_tardiness(), 5.0);  // weights 1 and 3
+}
+
+TEST(Registry, IgnoresUngroupedFlows) {
+  Registry reg;
+  netsim::Flow f;
+  f.id = FlowId{0};
+  reg.note_arrival(f, 0.0);   // no group: must not crash or register
+  reg.note_departure(f, 1.0);
+  EXPECT_DOUBLE_EQ(reg.total_tardiness(), 0.0);
+}
+
+}  // namespace
+}  // namespace echelon::ef

@@ -1,0 +1,215 @@
+// Tests for trace generation and the cluster experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "cluster/trace.hpp"
+
+namespace echelon::cluster {
+namespace {
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig cfg;
+  cfg.num_jobs = 8;
+  cfg.seed = 7;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].paradigm, b[i].paradigm);
+    EXPECT_EQ(a[i].ranks, b[i].ranks);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].model.name, b[i].model.name);
+  }
+}
+
+TEST(Trace, ArrivalsAreNonDecreasing) {
+  TraceConfig cfg;
+  cfg.num_jobs = 20;
+  const auto jobs = generate_trace(cfg);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+  }
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);
+}
+
+TEST(Trace, RespectsRankChoicesAndLayerBounds) {
+  TraceConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.rank_choices = {2, 4};
+  cfg.min_layers = 3;
+  cfg.max_layers = 5;
+  const auto jobs = generate_trace(cfg);
+  for (const JobSpec& j : jobs) {
+    EXPECT_TRUE(j.ranks == 2 || j.ranks == 4);
+    // Pipeline jobs may stretch layers up to `ranks`.
+    EXPECT_GE(j.model.layer_count(), 3u);
+    EXPECT_LE(j.model.layer_count(),
+              std::max<std::size_t>(5u, static_cast<std::size_t>(j.ranks)));
+  }
+}
+
+TEST(Trace, ParadigmWeightsZeroExcludes) {
+  TraceConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.paradigm_weights = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // DP-AllReduce only
+  const auto jobs = generate_trace(cfg);
+  for (const JobSpec& j : jobs) {
+    EXPECT_EQ(j.paradigm, workload::Paradigm::kDpAllReduce);
+  }
+}
+
+// Small mixed workload shared by the experiment tests.
+std::vector<JobSpec> small_trace() {
+  TraceConfig cfg;
+  cfg.num_jobs = 5;
+  cfg.seed = 3;
+  cfg.rank_choices = {2, 4};
+  cfg.min_layers = 3;
+  cfg.max_layers = 4;
+  cfg.min_width = 256;
+  cfg.max_width = 512;
+  cfg.arrival_rate = 5.0;
+  cfg.iterations = 2;
+  return generate_trace(cfg);
+}
+
+TEST(Experiment, AllJobsCompleteUnderEveryScheduler) {
+  const auto jobs = small_trace();
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFairSharing, SchedulerKind::kCoflowMadd,
+        SchedulerKind::kEchelonMadd, SchedulerKind::kCoordinator}) {
+    ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.hosts = 8;
+    const ExperimentResult r = run_experiment(jobs, cfg);
+    EXPECT_EQ(r.jobs.size(), jobs.size()) << to_string(kind);
+    for (const JobMetrics& jm : r.jobs) {
+      EXPECT_GT(jm.jct(), 0.0);
+      EXPECT_EQ(jm.iteration_times.size(), 2u);
+      for (const Duration t : jm.iteration_times) EXPECT_GT(t, 0.0);
+    }
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GE(r.total_tardiness, 0.0);
+    EXPECT_GT(r.control_invocations, 0u);
+  }
+}
+
+TEST(Experiment, EchelonBeatsOrMatchesBaselinesOnTardiness) {
+  const auto jobs = small_trace();
+  auto run = [&](SchedulerKind kind) {
+    ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.hosts = 8;
+    return run_experiment(jobs, cfg);
+  };
+  const auto fair = run(SchedulerKind::kFairSharing);
+  const auto echelon = run(SchedulerKind::kEchelonMadd);
+  // The Eq. 4 objective: the tardiness-minimizing scheduler should not lose
+  // to fair sharing on its own objective (allowing small heuristic slack).
+  EXPECT_LE(echelon.total_tardiness, fair.total_tardiness * 1.05 + 1e-6);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const auto jobs = small_trace();
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kEchelonMadd;
+  cfg.hosts = 8;
+  const auto a = run_experiment(jobs, cfg);
+  const auto b = run_experiment(jobs, cfg);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+  EXPECT_DOUBLE_EQ(a.total_tardiness, b.total_tardiness);
+}
+
+TEST(Experiment, PriorityQueueEnforcementStillCompletes) {
+  const auto jobs = small_trace();
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kEchelonMadd;
+  cfg.hosts = 8;
+  cfg.priority_queues = 8;
+  const auto r = run_experiment(jobs, cfg);
+  EXPECT_EQ(r.jobs.size(), jobs.size());
+  EXPECT_NE(r.scheduler_name.find("+pq8"), std::string::npos);
+}
+
+TEST(Experiment, CoordinatorIntervalModeReportsControlStats) {
+  const auto jobs = small_trace();
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kCoordinator;
+  cfg.hosts = 8;
+  cfg.coordinator.mode = runtime::SchedulingMode::kInterval;
+  cfg.coordinator.interval = 1e-3;
+  cfg.coordinator.iterative_reuse = true;
+  const auto r = run_experiment(jobs, cfg);
+  EXPECT_EQ(r.jobs.size(), jobs.size());
+  EXPECT_GT(r.heuristic_runs, 0u);
+  // Interval mode must run the heuristic less often than the per-event
+  // control-invocation count.
+  EXPECT_LT(r.heuristic_runs, r.control_invocations);
+}
+
+TEST(Experiment, SrptSchedulerCompletesAllJobs) {
+  const auto jobs = small_trace();
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kSrpt;
+  cfg.hosts = 8;
+  const auto r = run_experiment(jobs, cfg);
+  EXPECT_EQ(r.jobs.size(), jobs.size());
+  EXPECT_EQ(r.scheduler_name, "srpt");
+}
+
+TEST(Experiment, LeafSpineFabricCompletesAllJobs) {
+  const auto jobs = small_trace();
+  for (const double oversub : {1.0, 4.0}) {
+    ExperimentConfig cfg;
+    cfg.scheduler = SchedulerKind::kEchelonMadd;
+    cfg.fabric = FabricKind::kLeafSpine;
+    cfg.oversubscription = oversub;
+    cfg.hosts = 16;
+    const auto r = run_experiment(jobs, cfg);
+    EXPECT_EQ(r.jobs.size(), jobs.size());
+    EXPECT_GT(r.makespan, 0.0);
+  }
+}
+
+TEST(Experiment, OversubscriptionNeverSpeedsThingsUp) {
+  const auto jobs = small_trace();
+  auto run_oversub = [&](double o) {
+    ExperimentConfig cfg;
+    cfg.scheduler = SchedulerKind::kFairSharing;
+    cfg.fabric = FabricKind::kLeafSpine;
+    cfg.oversubscription = o;
+    cfg.hosts = 16;
+    cfg.port_capacity = gbps(1);  // make the network the bottleneck
+    return run_experiment(jobs, cfg).iteration_samples().mean();
+  };
+  EXPECT_LE(run_oversub(1.0), run_oversub(8.0) + 1e-9);
+}
+
+TEST(Experiment, SingleParadigmTracesRunEachParadigm) {
+  for (int p = 0; p < 6; ++p) {
+    TraceConfig tcfg;
+    tcfg.num_jobs = 2;
+    tcfg.seed = 11;
+    tcfg.paradigm_weights = {0, 0, 0, 0, 0, 0};
+    tcfg.paradigm_weights[static_cast<std::size_t>(p)] = 1.0;
+    tcfg.rank_choices = {2};
+    tcfg.min_layers = 3;
+    tcfg.max_layers = 3;
+    tcfg.min_width = 128;
+    tcfg.max_width = 128;
+    const auto jobs = generate_trace(tcfg);
+    ExperimentConfig cfg;
+    cfg.scheduler = SchedulerKind::kEchelonMadd;
+    cfg.hosts = 4;
+    const auto r = run_experiment(jobs, cfg);
+    EXPECT_EQ(r.jobs.size(), 2u)
+        << workload::to_string(static_cast<workload::Paradigm>(p));
+  }
+}
+
+}  // namespace
+}  // namespace echelon::cluster

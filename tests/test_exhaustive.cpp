@@ -1,0 +1,113 @@
+// Tests for the single-link reference schedulers, including the property
+// sweep backing Property 1: preemptive EDF (what EchelonFlow-MADD reduces to
+// on a single bottleneck) achieves the exhaustive-search optimum for maximum
+// tardiness on random instances.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "echelon/exhaustive.hpp"
+
+namespace echelon::ef {
+namespace {
+
+TEST(MiniSim, PriorityOrderServesSequentially) {
+  const std::vector<MiniFlow> flows = {{0.0, 10.0, 0.0}, {0.0, 10.0, 0.0}};
+  const auto finish = simulate_priority(flows, {0, 1}, 10.0);
+  EXPECT_NEAR(finish[0], 1.0, 1e-9);
+  EXPECT_NEAR(finish[1], 2.0, 1e-9);
+  const auto finish2 = simulate_priority(flows, {1, 0}, 10.0);
+  EXPECT_NEAR(finish2[0], 2.0, 1e-9);
+  EXPECT_NEAR(finish2[1], 1.0, 1e-9);
+}
+
+TEST(MiniSim, ReleaseTimesIdleTheLink) {
+  const std::vector<MiniFlow> flows = {{5.0, 10.0, 0.0}};
+  const auto finish = simulate_priority(flows, {0}, 10.0);
+  EXPECT_NEAR(finish[0], 6.0, 1e-9);
+}
+
+TEST(MiniSim, PreemptionOnHigherPriorityRelease) {
+  // Low-priority flow starts first, is preempted at t=1 by the
+  // high-priority release, resumes after.
+  const std::vector<MiniFlow> flows = {{0.0, 20.0, 0.0}, {1.0, 10.0, 0.0}};
+  const auto finish = simulate_priority(flows, {1, 0}, 10.0);
+  EXPECT_NEAR(finish[1], 2.0, 1e-9);
+  EXPECT_NEAR(finish[0], 3.0, 1e-9);
+}
+
+TEST(MiniSim, EdfPicksEarliestDeadline) {
+  const std::vector<MiniFlow> flows = {
+      {0.0, 10.0, /*deadline=*/5.0},
+      {0.0, 10.0, /*deadline=*/1.0},
+  };
+  const auto finish = simulate_edf(flows, 10.0);
+  EXPECT_NEAR(finish[1], 1.0, 1e-9);
+  EXPECT_NEAR(finish[0], 2.0, 1e-9);
+}
+
+TEST(MiniSim, ZeroSizeFlowFinishesAtRelease) {
+  const std::vector<MiniFlow> flows = {{3.0, 0.0, 0.0}};
+  const auto finish = simulate_edf(flows, 1.0);
+  EXPECT_NEAR(finish[0], 3.0, 1e-9);
+}
+
+TEST(MiniSim, MaxTardinessComputation) {
+  const std::vector<MiniFlow> flows = {{0, 1, 2.0}, {0, 1, 0.5}};
+  const std::vector<SimTime> finish = {3.0, 1.0};
+  EXPECT_NEAR(max_tardiness(flows, finish), 1.0, 1e-9);
+}
+
+TEST(Exhaustive, FindsKnownOptimum) {
+  // Fig. 2 in miniature: releases 1/2/3, sizes 2, deadlines 1/2/3, cap 1.
+  const std::vector<MiniFlow> flows = {
+      {1.0, 2.0, 1.0}, {2.0, 2.0, 2.0}, {3.0, 2.0, 3.0}};
+  const auto best = exhaustive_best(flows, 1.0, [&](const auto& finish) {
+    return max_tardiness(flows, finish);
+  });
+  EXPECT_NEAR(best.objective, 4.0, 1e-9);  // finishes 3/5/7 vs ideals 1/2/3
+  EXPECT_EQ(best.order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Exhaustive, ObjectiveCanBeCompletionTime) {
+  // Minimizing makespan-by-order degenerates to any order on one link.
+  const std::vector<MiniFlow> flows = {{0.0, 5.0, 0.0}, {0.0, 5.0, 0.0}};
+  const auto best = exhaustive_best(flows, 1.0, [](const auto& finish) {
+    return std::max(finish[0], finish[1]);
+  });
+  EXPECT_NEAR(best.objective, 10.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property 1 backing sweep: EDF == exhaustive optimum for max tardiness.
+// ---------------------------------------------------------------------------
+
+class EdfOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdfOptimality, EdfMatchesExhaustiveOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int n = 2 + static_cast<int>(rng.uniform_int(5));  // up to 6 flows
+  std::vector<MiniFlow> flows;
+  for (int i = 0; i < n; ++i) {
+    MiniFlow f;
+    f.release = rng.uniform(0.0, 5.0);
+    f.size = rng.uniform(0.5, 5.0);
+    f.deadline = f.release + rng.uniform(0.0, 5.0);
+    flows.push_back(f);
+  }
+  const double cap = rng.uniform(0.5, 3.0);
+
+  const auto edf = simulate_edf(flows, cap);
+  const double edf_obj = max_tardiness(flows, edf);
+  const auto best = exhaustive_best(flows, cap, [&](const auto& finish) {
+    return max_tardiness(flows, finish);
+  });
+  EXPECT_LE(edf_obj, best.objective + 1e-7)
+      << "EDF must be optimal for max tardiness (Horn 1974)";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EdfOptimality,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace echelon::ef

@@ -1,0 +1,120 @@
+// Tests for the computation profiler: ideal-finish offsets measured on an
+// infinitely fast network must reproduce the analytic arrangement functions
+// (Eq. 6 for GPipe, Eq. 7's generalized form for FSDP), and calibration must
+// install them into the registry.
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+#include "workload/fsdp.hpp"
+#include "workload/pp.hpp"
+#include "workload/profiler.hpp"
+
+namespace echelon::workload {
+namespace {
+
+TEST(Profiler, PipelineOffsetsMatchEq6) {
+  auto fabric = topology::make_big_switch(2, 1.0);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  const auto placement = make_placement(sim, fabric.hosts);
+  const ModelSpec model = make_mlp(2, 32, 2);  // uniform stages
+  const GpuSpec gpu = unit_gpu();
+  const auto job = generate_pipeline(
+      {.model = model, .gpu = gpu, .micro_batches = 3, .iterations = 1},
+      placement, reg, JobId{0});
+
+  const auto profile = profile_job(job, fabric.topo, placement.hosts);
+  // Forward EchelonFlow (first declared): flows released when the producer
+  // stage finishes each micro-batch -> offsets 0, T, 2T with T = stage fwd
+  // time.
+  const EchelonFlowId fwd_ef = job.echelonflows[0];
+  const auto it = profile.offsets.find(fwd_ef.value());
+  ASSERT_NE(it, profile.offsets.end());
+  const double T = gpu.compute_time(model.layers[0].fwd_flops);
+  ASSERT_EQ(it->second.size(), 3u);
+  EXPECT_NEAR(it->second[0], 0.0, 1e-9);
+  EXPECT_NEAR(it->second[1], T, 1e-9);
+  EXPECT_NEAR(it->second[2], 2 * T, 1e-9);
+}
+
+TEST(Profiler, MakespanAndTaskTimesRecorded) {
+  auto fabric = topology::make_big_switch(2, 1.0);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  const auto placement = make_placement(sim, fabric.hosts);
+  const ModelSpec model = make_mlp(2, 32, 2);
+  const auto job = generate_pipeline(
+      {.model = model, .gpu = unit_gpu(), .micro_batches = 2,
+       .iterations = 1},
+      placement, reg, JobId{0});
+  const auto profile = profile_job(job, fabric.topo, placement.hosts);
+  EXPECT_GT(profile.makespan, 0.0);
+  EXPECT_FALSE(profile.tasks.empty());
+  const double T = unit_gpu().compute_time(model.layers[0].fwd_flops);
+  EXPECT_NEAR(profile.mean_task_duration("it0.f.s0"), T, 1e-9);
+}
+
+TEST(Profiler, FsdpOffsetsMatchGeneralizedEq7) {
+  auto fabric = topology::make_big_switch(2, 1.0);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  const auto placement = make_placement(sim, fabric.hosts);
+  const ModelSpec model = make_mlp(3, 32, 2);
+  const GpuSpec gpu = unit_gpu();
+  const auto job = generate_fsdp(
+      {.model = model, .gpu = gpu, .iterations = 1}, placement, reg,
+      JobId{0});
+
+  const auto profile = profile_job(job, fabric.topo, placement.hosts);
+  const EchelonFlowId ag = job.echelonflows[0];
+  const auto it = profile.offsets.find(ag.value());
+  ASSERT_NE(it, profile.offsets.end());
+
+  // On an infinitely fast network the forward all-gathers are all released
+  // at iteration start (offset 0); the backward ones at the end of the
+  // forward pass. The *analytic* arrangement instead staggers ideals by
+  // compute times -- so profiled release offsets are a lower bound of the
+  // analytic offsets and share the fwd/bwd structure.
+  const int per_stage = 2 * 1;  // m(m-1) with m=2
+  const auto& analytic = reg.get(ag).arrangement();
+  for (std::size_t j = 0; j < it->second.size(); ++j) {
+    EXPECT_LE(it->second[j],
+              analytic.offset(static_cast<int>(j)) + 1e-9);
+  }
+  // Backward stages (index >= L*per_stage) are released when the forward
+  // pass finishes: sum of fwd compute.
+  const double t_fwd_total = gpu.compute_time(model.total_fwd_flops());
+  EXPECT_NEAR(it->second[static_cast<std::size_t>(3 * per_stage)],
+              t_fwd_total, 1e-9);
+}
+
+TEST(Profiler, CalibrateRegistryInstallsMeasuredOffsets) {
+  auto fabric = topology::make_big_switch(2, 1.0);
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  const auto placement = make_placement(sim, fabric.hosts);
+  const ModelSpec model = make_mlp(2, 32, 2);
+  const auto job = generate_pipeline(
+      {.model = model, .gpu = unit_gpu(), .micro_batches = 3,
+       .iterations = 1, .schedule = PipelineSchedule::kOneFOneB},
+      placement, reg, JobId{0});
+  const auto profile = profile_job(job, fabric.topo, placement.hosts);
+  calibrate_registry(job, profile, reg);
+  // After calibration the arrangements equal the profiled offsets.
+  for (const EchelonFlowId id : job.echelonflows) {
+    const auto it = profile.offsets.find(id.value());
+    ASSERT_NE(it, profile.offsets.end());
+    const auto& arr = reg.get(id).arrangement();
+    double prev = -1.0;
+    for (int j = 0; j < arr.size(); ++j) {
+      EXPECT_GE(arr.offset(j), prev);  // monotonized
+      prev = arr.offset(j);
+      EXPECT_NEAR(arr.offset(j), it->second[static_cast<std::size_t>(j)],
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace echelon::workload

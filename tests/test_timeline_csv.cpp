@@ -1,0 +1,104 @@
+// Tests for the ASCII timeline renderer and the CSV writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/timeline.hpp"
+#include "topology/builders.hpp"
+
+namespace echelon {
+namespace {
+
+TEST(Timeline, CellCodeExtraction) {
+  using netsim::TimelineRecorder;
+  EXPECT_EQ(TimelineRecorder::cell_code("it0.f.s2.mb3"), "f3");
+  EXPECT_EQ(TimelineRecorder::cell_code("it1.b.l10.w2"), "b2");
+  EXPECT_EQ(TimelineRecorder::cell_code("opt"), "o");
+  EXPECT_EQ(TimelineRecorder::cell_code("123"), "12");
+}
+
+TEST(Timeline, RecordsAndRendersTasks) {
+  auto fabric = topology::make_big_switch(2, 10.0);
+  netsim::Simulator sim(&fabric.topo);
+  netsim::TimelineRecorder rec(sim);
+  const WorkerId w0 = sim.add_worker(fabric.hosts[0]);
+  const WorkerId w1 = sim.add_worker(fabric.hosts[1]);
+  sim.enqueue_task(w0, 2.0, "f.mb0");
+  sim.enqueue_task(w0, 2.0, "f.mb1");
+  sim.schedule_at(1.0, [w1](netsim::Simulator& s) {
+    s.enqueue_task(w1, 1.0, "b.mb0");
+  });
+  sim.run();
+
+  ASSERT_EQ(rec.records().size(), 3u);
+  const std::string out = rec.render(/*slot=*/1.0);
+  // Two rows, worker 0 busy for 4 slots, worker 1 idle then busy one slot.
+  std::istringstream is(out);
+  std::string row0, row1;
+  std::getline(is, row0);
+  std::getline(is, row1);
+  EXPECT_NE(row0.find("f0"), std::string::npos);
+  EXPECT_NE(row0.find("f1"), std::string::npos);
+  EXPECT_NE(row1.find("b0"), std::string::npos);
+  EXPECT_NE(row1.find(".."), std::string::npos);  // idle first slot
+}
+
+TEST(Timeline, EmptyRunRendersNothing) {
+  auto fabric = topology::make_big_switch(2, 10.0);
+  netsim::Simulator sim(&fabric.topo);
+  netsim::TimelineRecorder rec(sim);
+  sim.run();
+  EXPECT_TRUE(rec.render(1.0).empty());
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  Csv csv({"a", "b"});
+  csv.add_row({"1", "x"});
+  csv.add_row({"2", "y"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2,y\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  Csv csv({"v"});
+  csv.add_row({"plain"});
+  csv.add_row({"with,comma"});
+  csv.add_row({"with\"quote"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "v\nplain\n\"with,comma\"\n\"with\"\"quote\"\n");
+}
+
+TEST(Csv, NumRoundTripsDoubles) {
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(Csv::num(v)), v);
+}
+
+TEST(Csv, WriteFileAndReadBack) {
+  const std::string path = "/tmp/echelonflow_csv_test.csv";
+  Csv csv({"k", "v"});
+  csv.add_row({"x", "1"});
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,1");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  Csv csv({"a"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace echelon

@@ -1,0 +1,149 @@
+// Unit tests for the workflow DAG and its execution engine.
+
+#include <gtest/gtest.h>
+
+#include "netsim/simulator.hpp"
+#include "netsim/workflow.hpp"
+#include "topology/builders.hpp"
+
+namespace echelon::netsim {
+namespace {
+
+struct WfFixture : ::testing::Test {
+  WfFixture() : fabric(topology::make_big_switch(4, 10.0)), sim(&fabric.topo) {
+    w0 = sim.add_worker(fabric.hosts[0]);
+    w1 = sim.add_worker(fabric.hosts[1]);
+  }
+  topology::BuiltFabric fabric;
+  Simulator sim;
+  WorkerId w0, w1;
+};
+
+TEST_F(WfFixture, LinearChainExecutesInOrder) {
+  Workflow wf;
+  const WfNodeId a = wf.add_compute(w0, 1.0, "a");
+  const WfNodeId f = wf.add_flow(FlowSpec{
+      .src = fabric.hosts[0], .dst = fabric.hosts[1], .size = 20.0});
+  const WfNodeId b = wf.add_compute(w1, 0.5, "b");
+  wf.add_dep(a, f);
+  wf.add_dep(f, b);
+  EXPECT_TRUE(wf.is_acyclic());
+  EXPECT_EQ(wf.roots(), (std::vector<WfNodeId>{a}));
+
+  WorkflowEngine eng(&sim, &wf);
+  eng.launch(0.0);
+  sim.run();
+  EXPECT_TRUE(eng.finished());
+  EXPECT_NEAR(eng.node_finish(a), 1.0, 1e-9);
+  EXPECT_NEAR(eng.node_finish(f), 3.0, 1e-9);   // 20 bytes at 10 B/s
+  EXPECT_NEAR(eng.node_finish(b), 3.5, 1e-9);
+}
+
+TEST_F(WfFixture, DiamondJoinsWaitForAllDeps) {
+  Workflow wf;
+  const WfNodeId a = wf.add_compute(w0, 1.0, "a");
+  const WfNodeId b1 = wf.add_compute(w0, 2.0, "b1");
+  const WfNodeId b2 = wf.add_compute(w1, 5.0, "b2");
+  const WfNodeId join = wf.add_barrier("join");
+  const WfNodeId c = wf.add_compute(w0, 1.0, "c");
+  wf.add_dep(a, b1);
+  wf.add_dep(a, b2);
+  wf.add_deps({b1, b2}, join);
+  wf.add_dep(join, c);
+
+  WorkflowEngine eng(&sim, &wf);
+  eng.launch(0.0);
+  sim.run();
+  EXPECT_NEAR(eng.node_finish(join), 6.0, 1e-9);  // limited by b2
+  EXPECT_NEAR(eng.node_finish(c), 7.0, 1e-9);
+}
+
+TEST_F(WfFixture, BarrierChainsAreInstant) {
+  Workflow wf;
+  const WfNodeId b1 = wf.add_barrier("b1");
+  const WfNodeId b2 = wf.add_barrier("b2");
+  const WfNodeId b3 = wf.add_barrier("b3");
+  wf.add_dep(b1, b2);
+  wf.add_dep(b2, b3);
+  WorkflowEngine eng(&sim, &wf);
+  eng.launch(2.0);
+  sim.run();
+  EXPECT_TRUE(eng.finished());
+  EXPECT_NEAR(eng.node_finish(b3), 2.0, 1e-9);
+}
+
+TEST_F(WfFixture, LaunchTimeDelaysRoots) {
+  Workflow wf;
+  const WfNodeId a = wf.add_compute(w0, 1.0, "a");
+  WorkflowEngine eng(&sim, &wf);
+  eng.launch(5.0);
+  sim.run();
+  EXPECT_NEAR(eng.node_start(a), 5.0, 1e-9);
+  EXPECT_NEAR(eng.node_finish(a), 6.0, 1e-9);
+}
+
+TEST_F(WfFixture, FlowNodeBindsFlowId) {
+  Workflow wf;
+  const WfNodeId f = wf.add_flow(FlowSpec{
+      .src = fabric.hosts[0], .dst = fabric.hosts[1], .size = 10.0});
+  std::vector<std::pair<WfNodeId, FlowId>> bound;
+  WorkflowEngine eng(&sim, &wf);
+  eng.on_flow_submitted = [&bound](WfNodeId n, FlowId id) {
+    bound.emplace_back(n, id);
+  };
+  eng.launch(0.0);
+  sim.run();
+  ASSERT_EQ(bound.size(), 1u);
+  EXPECT_EQ(bound[0].first, f);
+  EXPECT_EQ(eng.flow_of(f), bound[0].second);
+  EXPECT_TRUE(sim.flow(bound[0].second).finished());
+}
+
+TEST_F(WfFixture, OnCompleteFiresOnce) {
+  Workflow wf;
+  const WfNodeId a = wf.add_compute(w0, 1.0, "a");
+  const WfNodeId b = wf.add_compute(w0, 1.0, "b");
+  wf.add_dep(a, b);
+  int completions = 0;
+  WorkflowEngine eng(&sim, &wf);
+  eng.on_complete = [&completions](Simulator&) { ++completions; };
+  eng.launch(0.0);
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(eng.completed_nodes(), 2u);
+}
+
+TEST_F(WfFixture, TwoEnginesInterleave) {
+  Workflow wf1, wf2;
+  const WfNodeId t1 = wf1.add_compute(w0, 1.0, "j1");
+  const WfNodeId t2 = wf2.add_compute(w0, 1.0, "j2");
+  WorkflowEngine e1(&sim, &wf1);
+  WorkflowEngine e2(&sim, &wf2);
+  e1.launch(0.0);
+  e2.launch(0.5);  // queued behind j1 on the same GPU
+  sim.run();
+  EXPECT_NEAR(e1.node_finish(t1), 1.0, 1e-9);
+  EXPECT_NEAR(e2.node_finish(t2), 2.0, 1e-9);
+}
+
+TEST(Workflow, CycleDetection) {
+  Workflow wf;
+  const WfNodeId a = wf.add_barrier("a");
+  const WfNodeId b = wf.add_barrier("b");
+  const WfNodeId c = wf.add_barrier("c");
+  wf.add_dep(a, b);
+  wf.add_dep(b, c);
+  EXPECT_TRUE(wf.is_acyclic());
+  wf.add_dep(c, a);
+  EXPECT_FALSE(wf.is_acyclic());
+}
+
+TEST(Workflow, JobStampsFlows) {
+  Workflow wf;
+  wf.set_job(JobId{7});
+  const WfNodeId f = wf.add_flow(FlowSpec{.size = 1.0});
+  EXPECT_EQ(wf.node(f).flow.job, JobId{7});
+}
+
+}  // namespace
+}  // namespace echelon::netsim

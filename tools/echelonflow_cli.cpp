@@ -1,0 +1,311 @@
+// echelonflow_cli -- command-line driver for the EchelonFlow simulator.
+//
+// Subcommands:
+//   fig2                         reproduce the paper's motivating example
+//   single  [options]            one training job on a dedicated fabric
+//   cluster [options]            a multi-job Poisson trace on a shared fabric
+//
+// `single` options:
+//   --paradigm dp|ps|pp|tp|fsdp|ep     (default pp)
+//   --scheduler fair|srpt|aalo|sincronia|coflow|echelonflow  (default echelonflow)
+//   --ranks N          (default 4)      --iterations N   (default 3)
+//   --gbps G           (default 25)     --microbatches N (default 6)
+//   --layers N         (default 8)      --hidden N       (default 2048)
+//   --jitter X         (default 0)      --timeline       (render Gantt)
+//
+// `cluster` options:
+//   --jobs N (default 12)  --hosts N (default 16)  --seed S (default 42)
+//   --gbps G (default 25)  --iterations N (default 2)
+//   --scheduler <name>|all (default all)  --csv PATH (write results CSV)
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "cluster/trace.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "echelon/aalo.hpp"
+#include "echelon/coflow_madd.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/sincronia.hpp"
+#include "echelon/srpt.hpp"
+#include "netsim/timeline.hpp"
+#include "topology/builders.hpp"
+#include "workload/dp.hpp"
+#include "workload/ep.hpp"
+#include "workload/fsdp.hpp"
+#include "workload/pp.hpp"
+#include "workload/tp.hpp"
+
+namespace {
+
+using namespace echelon;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool flag_timeline = false;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const {
+    const auto it = kv.find(key);
+    return it != kv.end() ? it->second : def;
+  }
+  [[nodiscard]] int geti(const std::string& key, int def) const {
+    const auto it = kv.find(key);
+    return it != kv.end() ? std::atoi(it->second.c_str()) : def;
+  }
+  [[nodiscard]] double getd(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    return it != kv.end() ? std::atof(it->second.c_str()) : def;
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "timeline") {
+      a.flag_timeline = true;
+    } else if (i + 1 < argc) {
+      a.kv[key] = argv[++i];
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<netsim::NetworkScheduler> make_scheduler(
+    const std::string& name, const ef::Registry* reg) {
+  if (name == "fair") return nullptr;
+  if (name == "srpt") return std::make_unique<ef::SrptScheduler>();
+  if (name == "aalo") return std::make_unique<ef::AaloScheduler>();
+  if (name == "sincronia") return std::make_unique<ef::SincroniaScheduler>();
+  if (name == "coflow") return std::make_unique<ef::CoflowMaddScheduler>();
+  if (name == "echelonflow") {
+    return std::make_unique<ef::EchelonMaddScheduler>(reg);
+  }
+  std::cerr << "unknown scheduler '" << name << "'\n";
+  std::exit(2);
+}
+
+int cmd_fig2() {
+  // Defer to the canonical bench logic, inlined compactly: run the three
+  // policies and print the comparison row.
+  std::cout << "see bench_fig2_motivating for the full panel; summary:\n";
+  Table t({"policy", "comp finish (s)"});
+  for (const std::string which : {"fair", "coflow", "echelonflow"}) {
+    auto fabric = topology::make_big_switch(2, 1.0);
+    netsim::Simulator sim(&fabric.topo);
+    ef::Registry reg;
+    reg.attach(sim);
+    auto sched = make_scheduler(which == "coflow" ? "coflow"
+                                : which == "echelonflow" ? "echelonflow"
+                                                         : "fair",
+                                &reg);
+    if (sched) sim.set_scheduler(sched.get());
+    const auto placement = workload::make_placement(sim, fabric.hosts);
+    const workload::GpuSpec slot{.name = "slot", .peak_flops = 1.0,
+                                 .efficiency = 1.0};
+    workload::ModelSpec model;
+    model.name = "fig2";
+    for (int l = 0; l < 2; ++l) {
+      model.layers.push_back(workload::LayerSpec{
+          .name = "l", .params = 0, .activation_bytes = 2.0,
+          .fwd_flops = 1.0, .bwd_flops = 0.0});
+    }
+    const auto job = workload::generate_pipeline(
+        {.model = model, .gpu = slot, .micro_batches = 3, .iterations = 1,
+         .optimizer_fraction = 0.0},
+        placement, reg, JobId{0});
+    netsim::WorkflowEngine eng(&sim, &job.workflow);
+    eng.launch(0.0);
+    // Forward-only variant of Fig. 2: stop once the last consumer forward
+    // is done (bwd flops are zero so the full run is equivalent).
+    sim.run();
+    // Comp finish = last forward on stage 1; with zero-size grad flows and
+    // zero-length bwd tasks the makespan matches Fig. 2's comp finish.
+    double comp = 0.0;
+    for (const auto& n : job.workflow.nodes()) {
+      if (n.kind == netsim::WfKind::kCompute &&
+          n.label.rfind("it0.f.s1", 0) == 0) {
+        comp = std::max(comp, eng.node_finish(n.id));
+      }
+    }
+    t.add_row({which, Table::num(comp, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_single(const Args& args) {
+  const std::string paradigm = args.get("paradigm", "pp");
+  const std::string sched_name = args.get("scheduler", "echelonflow");
+  const int ranks = args.geti("ranks", 4);
+  const int iterations = args.geti("iterations", 3);
+  const double cap_gbps = args.getd("gbps", 25.0);
+  const int layers = args.geti("layers", 8);
+  const int hidden = args.geti("hidden", 2048);
+  const double jitter = args.getd("jitter", 0.0);
+
+  const bool needs_ps = paradigm == "ps";
+  auto fabric =
+      topology::make_big_switch(ranks + (needs_ps ? 1 : 0), gbps(cap_gbps));
+  netsim::Simulator sim(&fabric.topo);
+  ef::Registry reg;
+  reg.attach(sim);
+  auto sched = make_scheduler(sched_name, &reg);
+  if (sched) sim.set_scheduler(sched.get());
+  netsim::TimelineRecorder timeline(sim);
+
+  std::vector<NodeId> hosts(fabric.hosts.begin(),
+                            fabric.hosts.begin() + ranks);
+  const auto placement = workload::make_placement(sim, hosts);
+  const workload::ModelSpec model =
+      workload::make_transformer(std::max(layers, ranks), hidden, 256, 16);
+  const workload::GpuSpec gpu = workload::a100();
+
+  workload::GeneratedJob job;
+  if (paradigm == "dp") {
+    job = workload::generate_dp_allreduce(
+        {.model = model, .gpu = gpu, .buckets = 4, .iterations = iterations},
+        placement, reg, JobId{0});
+  } else if (paradigm == "ps") {
+    const WorkerId ps = sim.add_worker(fabric.hosts.back());
+    job = workload::generate_dp_ps(
+        {.model = model, .gpu = gpu, .buckets = 4, .iterations = iterations},
+        placement, fabric.hosts.back(), ps, reg, JobId{0});
+  } else if (paradigm == "pp") {
+    job = workload::generate_pipeline(
+        {.model = model,
+         .gpu = gpu,
+         .micro_batches = args.geti("microbatches", 6),
+         .iterations = iterations,
+         .compute_jitter = jitter},
+        placement, reg, JobId{0});
+  } else if (paradigm == "tp") {
+    job = workload::generate_tensor(
+        {.model = model, .gpu = gpu, .iterations = iterations}, placement,
+        reg, JobId{0});
+  } else if (paradigm == "fsdp") {
+    job = workload::generate_fsdp({.model = model,
+                                   .gpu = gpu,
+                                   .iterations = iterations,
+                                   .compute_jitter = jitter},
+                                  placement, reg, JobId{0});
+  } else if (paradigm == "ep") {
+    job = workload::generate_expert(
+        {.model = model, .gpu = gpu, .iterations = iterations}, placement,
+        reg, JobId{0});
+  } else {
+    std::cerr << "unknown paradigm '" << paradigm << "'\n";
+    return 2;
+  }
+
+  netsim::WorkflowEngine engine(&sim, &job.workflow);
+  engine.launch(0.0);
+  const SimTime makespan = sim.run();
+
+  std::cout << job.description << "  under "
+            << (sched ? sched->name() : std::string("fair")) << "\n\n";
+  Table t({"iteration", "finish (s)", "duration (s)"});
+  SimTime prev = 0.0;
+  for (std::size_t k = 0; k < job.iteration_end.size(); ++k) {
+    const SimTime f = engine.node_finish(job.iteration_end[k]);
+    t.add_row({std::to_string(k), Table::num(f, 4), Table::num(f - prev, 4)});
+    prev = f;
+  }
+  t.print(std::cout);
+  std::cout << "makespan " << Table::num(makespan, 4) << " s, sum tardiness "
+            << Table::num(reg.total_tardiness(), 4) << " s\n";
+  if (args.flag_timeline) {
+    std::cout << "\n"
+              << timeline.render(makespan / 100.0, 100);
+  }
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  cluster::TraceConfig tcfg;
+  tcfg.num_jobs = args.geti("jobs", 12);
+  tcfg.seed = static_cast<std::uint64_t>(args.geti("seed", 42));
+  tcfg.iterations = args.geti("iterations", 2);
+  tcfg.arrival_rate = 2.0;
+  const auto jobs = cluster::generate_trace(tcfg);
+
+  std::vector<cluster::SchedulerKind> kinds;
+  const std::string which = args.get("scheduler", "all");
+  if (which == "all") {
+    kinds = {cluster::SchedulerKind::kFairSharing,
+             cluster::SchedulerKind::kSrpt,
+             cluster::SchedulerKind::kCoflowMadd,
+             cluster::SchedulerKind::kEchelonMadd};
+  } else if (which == "fair") {
+    kinds = {cluster::SchedulerKind::kFairSharing};
+  } else if (which == "srpt") {
+    kinds = {cluster::SchedulerKind::kSrpt};
+  } else if (which == "coflow") {
+    kinds = {cluster::SchedulerKind::kCoflowMadd};
+  } else if (which == "echelonflow") {
+    kinds = {cluster::SchedulerKind::kEchelonMadd};
+  } else {
+    std::cerr << "unknown scheduler '" << which << "'\n";
+    return 2;
+  }
+
+  Table t({"scheduler", "mean iter (s)", "p99 iter (s)", "mean JCT (s)",
+           "sum tardiness (s)"});
+  Csv csv({"scheduler", "mean_iter_s", "p99_iter_s", "mean_jct_s",
+           "sum_tardiness_s", "makespan_s"});
+  for (const auto kind : kinds) {
+    cluster::ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.hosts = args.geti("hosts", 16);
+    cfg.port_capacity = gbps(args.getd("gbps", 25.0));
+    const auto r = cluster::run_experiment(jobs, cfg);
+    const auto iters = r.iteration_samples();
+    t.add_row({std::string(cluster::to_string(kind)),
+               Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),
+               Table::num(r.jct_samples().mean(), 4),
+               Table::num(r.total_tardiness, 3)});
+    csv.add_row({std::string(cluster::to_string(kind)), Csv::num(iters.mean()),
+                 Csv::num(iters.p99()), Csv::num(r.jct_samples().mean()),
+                 Csv::num(r.total_tardiness), Csv::num(r.makespan)});
+  }
+  t.print(std::cout);
+  if (const std::string path = args.get("csv", ""); !path.empty()) {
+    if (!csv.write_file(path)) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: echelonflow_cli <fig2|single|cluster> [--key value]... "
+               "[--timeline]\n"
+               "see the header of tools/echelonflow_cli.cpp for options.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  if (cmd == "fig2") return cmd_fig2();
+  if (cmd == "single") return cmd_single(args);
+  if (cmd == "cluster") return cmd_cluster(args);
+  usage();
+  return 2;
+}
