@@ -1,0 +1,88 @@
+// Microbenchmarks of the RateAllocator hot path (see DESIGN.md, "Hot-path
+// data layout").
+//
+// The allocator runs after every scheduler control() pass -- once per flow
+// arrival and departure under per-event coordination -- so its per-pass cost
+// bounds control-plane throughput together with the scheduler itself. Two
+// regimes:
+//
+//   * FairShare: every flow uncapped with weight 1. Progressive filling
+//     iterates until every flow is frozen by a saturated link, exercising
+//     the multi-round water-fill worst case.
+//   * Capped: every flow carries a MADD-style explicit rate cap (as the
+//     Echelon/Coflow schedulers emit), so most flows freeze at their cap in
+//     the first rounds.
+//
+// Flow counts match BM_EchelonMaddControlPass (64..4096) so the two
+// benchmarks compose into an end-to-end control-plane latency estimate.
+// Emit JSON for trajectory tracking with:
+//   bench_allocator --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "netsim/allocator.hpp"
+#include "netsim/flow.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using namespace echelon;
+
+struct Population {
+  topology::BuiltFabric fabric;
+  std::vector<netsim::Flow> flows;
+  std::vector<netsim::Flow*> active;
+};
+
+Population make_population(int n_flows, bool capped) {
+  const int hosts = 32;
+  Population p{topology::make_big_switch(hosts, gbps(100)), {}, {}};
+  Rng rng(11);
+  p.flows.reserve(static_cast<std::size_t>(n_flows));
+  for (int i = 0; i < n_flows; ++i) {
+    const auto src = rng.uniform_int(static_cast<std::uint64_t>(hosts));
+    auto dst = rng.uniform_int(static_cast<std::uint64_t>(hosts));
+    if (dst == src) dst = (dst + 1) % static_cast<std::uint64_t>(hosts);
+    netsim::Flow f;
+    f.id = FlowId{static_cast<std::uint64_t>(i)};
+    f.spec.size = rng.uniform(1e6, 1e8);
+    f.remaining = f.spec.size;
+    f.weight = 1.0 + static_cast<double>(i % 3);
+    if (capped) f.rate_cap = rng.uniform(0.1, 1.0) * gbps(10);
+    f.path = *p.fabric.topo.route(p.fabric.hosts[src], p.fabric.hosts[dst],
+                                  static_cast<std::uint64_t>(i));
+    p.flows.push_back(std::move(f));
+  }
+  for (auto& f : p.flows) p.active.push_back(&f);
+  return p;
+}
+
+void BM_RateAllocatorFairShare(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)), false);
+  netsim::RateAllocator alloc(&p.fabric.topo);
+  for (auto _ : state) {
+    alloc.allocate(p.active);
+    benchmark::DoNotOptimize(p.active);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RateAllocatorFairShare)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RateAllocatorCapped(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)), true);
+  netsim::RateAllocator alloc(&p.fabric.topo);
+  for (auto _ : state) {
+    alloc.allocate(p.active);
+    benchmark::DoNotOptimize(p.active);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RateAllocatorCapped)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 
 #include <iostream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -127,8 +128,18 @@ void coordination_mode_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // When machine-readable output is requested (trajectory tracking, e.g.
+  // BENCH_hotpath.json), emit only the google-benchmark report: the
+  // coordination table would corrupt the JSON stream.
+  bool machine_readable = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--benchmark_format", 0) == 0 && arg != "--benchmark_format=console") {
+      machine_readable = true;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  coordination_mode_table();
+  if (!machine_readable) coordination_mode_table();
   return 0;
 }

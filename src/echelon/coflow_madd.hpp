@@ -16,12 +16,23 @@
 // coflows. Applied to an EchelonFlow-compliant workload this treats every
 // EchelonFlow as if it were a Coflow -- which is precisely the strawman the
 // paper's Fig. 2 shows losing to fair sharing on pipeline parallelism.
+//
+// Hot-path data layout: grouping uses a two-pass counting scheme over an
+// epoch-stamped key map plus a flat member arena (no std::map nodes, no
+// per-pass allocations after warm-up); per-link load and residual capacity
+// live in dense LinkId-indexed scratch (see DESIGN.md, "Hot-path data
+// layout").
 
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "common/scratch.hpp"
 #include "echelon/linkcaps.hpp"
 #include "netsim/scheduler.hpp"
 #include "netsim/simulator.hpp"
+#include "topology/dense.hpp"
 
 namespace echelon::ef {
 
@@ -40,7 +51,27 @@ class CoflowMaddScheduler final : public netsim::NetworkScheduler {
   [[nodiscard]] std::string name() const override { return "coflow-madd"; }
 
  private:
+  // A coflow as a [begin, end) range into the flat members_ arena.
+  struct Grp {
+    std::uint64_t key = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    double gamma_standalone = 0.0;
+  };
+
+  [[nodiscard]] double standalone_gamma(const topology::Topology& topo,
+                                        const Grp& g);
+  [[nodiscard]] double residual_gamma(const Grp& g);
+
   CoflowMaddConfig config_;
+
+  // --- reusable per-pass arenas (allocation-free after warm-up) ---
+  KeySlotMap key_slots_;
+  std::vector<Grp> groups_;
+  std::vector<netsim::Flow*> members_;  // flat, grouped by coflow
+  std::vector<std::uint32_t> order_;    // SEBF rank order over groups_
+  topology::LinkScratch<double> load_;
+  detail::ResidualCaps caps_;
 };
 
 }  // namespace echelon::ef

@@ -3,119 +3,230 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <unordered_map>
-#include <vector>
 
 namespace echelon::ef {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kSingletonBase = 1ULL << 63;
 
-struct Member {
-  netsim::Flow* flow = nullptr;
-  SimTime deadline = 0.0;  // d_j (ideal finish time)
-};
+}  // namespace
 
-struct Group {
-  std::vector<Member> members;  // kept sorted by deadline (EDF order)
-  double tardiness_standalone = 0.0;
+// (key, deadline, weight) a flow schedules under *right now*. Cheap: a
+// couple of dense vector lookups into the registry. The cache stores the
+// resolved triple per flow; control() re-resolves each pass to detect
+// late registrations or re-calibrations and rebuilds when anything drifted.
+EchelonMaddScheduler::Resolved EchelonMaddScheduler::resolve(
+    const netsim::Flow& f) const {
+  std::uint64_t key = kSingletonBase | f.id.value();
+  SimTime deadline = f.start_time;  // fallback: tardiness == FCT
   double weight = 1.0;
-  double rank_key = 0.0;
-};
+  if (f.spec.group.valid() && registry_ != nullptr &&
+      registry_->contains(f.spec.group)) {
+    const EchelonFlow& ef = registry_->get(f.spec.group);
+    if (const auto d = ef.ideal_finish(f.spec.index_in_group)) {
+      key = f.spec.group.value();
+      deadline = *d;
+      weight = ef.weight();
+    }
+  }
+  return Resolved{key, deadline, weight};
+}
+
+void EchelonMaddScheduler::add_to_cache(const netsim::Flow& f) {
+  const Resolved r = resolve(f);
+  std::uint32_t slot;
+  if (const auto it = slot_of_key_.find(r.key); it != slot_of_key_.end()) {
+    slot = it->second;
+  } else {
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    GroupSlot& g = slots_[slot];
+    g.key = r.key;
+    g.members.clear();
+    slot_of_key_.emplace(r.key, slot);
+    groups_by_key_.insert(
+        std::lower_bound(groups_by_key_.begin(), groups_by_key_.end(), r.key,
+                         [this](std::uint32_t s, std::uint64_t k) {
+                           return slots_[s].key < k;
+                         }),
+        slot);
+  }
+  GroupSlot& g = slots_[slot];
+  g.weight = r.weight;
+  // Sorted insertion keeps EDF order without a per-pass sort. upper_bound
+  // with exact `<` places equal deadlines after existing ones, i.e. in
+  // arrival order -- the same tie order the seed's stable_sort produced.
+  const auto pos = std::upper_bound(
+      g.members.begin(), g.members.end(), r.deadline,
+      [](SimTime d, const CachedMember& m) { return d < m.deadline; });
+  g.members.insert(pos, CachedMember{f.id, r.deadline, nullptr});
+  const std::size_t idx = f.id.value();
+  if (meta_.size() <= idx) meta_.resize(idx + 1);
+  meta_[idx] = FlowMeta{slot, r.key, r.deadline};
+  ++cached_members_;
+}
+
+void EchelonMaddScheduler::remove_from_cache(const netsim::Flow& f) {
+  const std::size_t idx = f.id.value();
+  if (idx >= meta_.size() || meta_[idx].slot == kNoSlot) return;
+  const std::uint32_t slot = meta_[idx].slot;
+  GroupSlot& g = slots_[slot];
+  const auto it =
+      std::find_if(g.members.begin(), g.members.end(),
+                   [&](const CachedMember& m) { return m.id == f.id; });
+  if (it != g.members.end()) {
+    g.members.erase(it);  // preserves deadline order of the remainder
+    --cached_members_;
+  }
+  if (g.members.empty()) {
+    slot_of_key_.erase(g.key);
+    const auto kit =
+        std::find(groups_by_key_.begin(), groups_by_key_.end(), slot);
+    if (kit != groups_by_key_.end()) groups_by_key_.erase(kit);
+    free_slots_.push_back(slot);
+  }
+  meta_[idx].slot = kNoSlot;
+}
+
+void EchelonMaddScheduler::on_flow_arrival(netsim::Simulator&,
+                                           const netsim::Flow& flow) {
+  if (flow.path.empty()) return;  // loopback: never scheduled
+  const std::size_t idx = flow.id.value();
+  if (idx < meta_.size() && meta_[idx].slot != kNoSlot) return;  // stale id
+  add_to_cache(flow);
+}
+
+void EchelonMaddScheduler::on_flow_departure(netsim::Simulator&,
+                                             const netsim::Flow& flow) {
+  remove_from_cache(flow);
+}
+
+void EchelonMaddScheduler::rebuild_cache(std::span<netsim::Flow*> active) {
+  ++cache_rebuilds_;
+  slot_of_key_.clear();
+  groups_by_key_.clear();
+  free_slots_.clear();
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    slots_[i].members.clear();
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+  meta_.assign(meta_.size(), FlowMeta{});
+  cached_members_ = 0;
+  // Insertion in span order reproduces the seed's stable_sort tie order for
+  // equal deadlines (the simulator hands flows in ascending-FlowId order).
+  for (netsim::Flow* f : active) {
+    if (f->path.empty()) continue;
+    add_to_cache(*f);
+  }
+}
 
 // Minimal uniform tardiness t such that, at time `now`, every member can
 // finish by deadline + t under the given capacities. Per link, with members
 // in deadline order, the earliest-deadline prefix condition gives
 //   t >= prefix_bytes_k / cap - (d_k - now)   for every prefix k.
-// Returns +inf when a needed link has no capacity.
-double min_uniform_tardiness(const Group& g, SimTime now,
-                             const detail::ResidualCaps* residual,
-                             const topology::Topology& topo) {
-  struct PerLink {
-    double prefix_bytes = 0.0;
-    double cap = 0.0;
-  };
-  std::unordered_map<std::uint64_t, PerLink> links;
+// Returns +inf when a needed link has no capacity. Per-link prefix state
+// lives in the epoch-stamped tard_scratch_ arena (one sub-epoch per call).
+double EchelonMaddScheduler::min_uniform_tardiness(
+    const GroupSlot& g, SimTime now, const detail::ResidualCaps* residual,
+    const topology::Topology& topo) {
+  tard_scratch_.begin_pass(topo);
   double t = 0.0;
-  for (const Member& m : g.members) {  // already deadline-sorted
+  for (const CachedMember& m : g.members) {  // already deadline-sorted
     for (LinkId lid : m.flow->path) {
-      auto [it, inserted] = links.try_emplace(lid.value());
-      if (inserted) {
-        it->second.cap = residual != nullptr ? residual->residual(lid)
-                                             : topo.link(lid).capacity;
+      const bool first = !tard_scratch_.active(lid);
+      PerLink& pl = tard_scratch_.touch(lid);
+      if (first) {
+        pl.cap = residual != nullptr ? residual->residual(lid)
+                                     : topo.link(lid).capacity;
       }
-      it->second.prefix_bytes += m.flow->remaining;
-      if (it->second.cap <= 0.0) return kInf;
-      t = std::max(t, it->second.prefix_bytes / it->second.cap -
-                          (m.deadline - now));
+      pl.prefix_bytes += m.flow->remaining;
+      if (pl.cap <= 0.0) return kInf;
+      t = std::max(t, pl.prefix_bytes / pl.cap - (m.deadline - now));
     }
   }
   return t;
 }
-
-}  // namespace
 
 void EchelonMaddScheduler::control(netsim::Simulator& sim,
                                    std::span<netsim::Flow*> active) {
   const topology::Topology& topo = sim.topology();
   const SimTime now = sim.now();
 
-  // --- build deadline-annotated groups --------------------------------------
-  std::map<std::uint64_t, Group> groups;
-  constexpr std::uint64_t kSingletonBase = 1ULL << 63;
+  // --- sync the persistent group cache with the active set -------------------
+  // O(active) validation: stamp every active flow into the per-pass id->ptr
+  // table and check its resolved (key, deadline) against the cache. Any
+  // drift (hook-less caller, late registration, foreign flow ids) triggers
+  // one full rebuild; steady-state passes validate and move on.
+  flow_ptr_.begin_pass();
+  bool consistent = true;
+  std::size_t routed = 0;
   for (netsim::Flow* f : active) {
     if (f->path.empty()) {
       f->weight = 1.0;
       f->rate_cap.reset();
       continue;
     }
-    std::uint64_t key = kSingletonBase | f->id.value();
-    SimTime deadline = f->start_time;  // fallback: tardiness == FCT
-    double weight = 1.0;
-    if (f->spec.group.valid() && registry_ != nullptr &&
-        registry_->contains(f->spec.group)) {
-      const EchelonFlow& ef = registry_->get(f->spec.group);
-      if (const auto d = ef.ideal_finish(f->spec.index_in_group)) {
-        key = f->spec.group.value();
-        deadline = *d;
-        weight = ef.weight();
+    ++routed;
+    const std::size_t idx = f->id.value();
+    flow_ptr_.ensure_size(idx + 1);
+    flow_ptr_.touch(idx) = f;
+    if (consistent) {
+      if (idx >= meta_.size() || meta_[idx].slot == kNoSlot) {
+        consistent = false;
+      } else {
+        const Resolved r = resolve(*f);
+        const FlowMeta& m = meta_[idx];
+        if (m.key != r.key || m.deadline != r.deadline) consistent = false;
       }
     }
-    Group& g = groups[key];
-    g.members.push_back(Member{f, deadline});
-    g.weight = weight;
+  }
+  // Equal counts + (active ⊆ cache) ⇒ cache == active.
+  if (!consistent || routed != cached_members_) rebuild_cache(active);
+
+  // Re-bind simulator flow pointers: the owning flows_ vector may have been
+  // reallocated since the previous pass, so the cache stores FlowIds and
+  // refreshes pointers from the per-pass table.
+  for (const std::uint32_t si : groups_by_key_) {
+    for (CachedMember& m : slots_[si].members) {
+      m.flow = flow_ptr_.at(m.id.value());
+    }
   }
 
-  // EDF order within each group; rank groups by standalone achievable
-  // tardiness (the Eq. 2 metric, Property 4's SEBF analog).
-  std::vector<std::map<std::uint64_t, Group>::iterator> order;
-  order.reserve(groups.size());
-  for (auto it = groups.begin(); it != groups.end(); ++it) {
-    Group& g = it->second;
-    std::stable_sort(g.members.begin(), g.members.end(),
-                     [](const Member& a, const Member& b) {
-                       return a.deadline < b.deadline;
-                     });
-    g.tardiness_standalone =
-        min_uniform_tardiness(g, now, nullptr, topo);
+  // --- rank groups by standalone achievable tardiness ------------------------
+  // (the Eq. 2 metric, Property 4's SEBF analog)
+  order_.assign(groups_by_key_.begin(), groups_by_key_.end());
+  for (const std::uint32_t si : order_) {
+    GroupSlot& g = slots_[si];
+    g.tardiness_standalone = min_uniform_tardiness(g, now, nullptr, topo);
     // Weighted ranking: tardiness scaled by 1/weight, so heavier
     // EchelonFlows sort as if they were further ahead (smallest-first) or
     // further behind (largest-first).
     g.rank_key = config_.use_weights && g.weight > 0.0
                      ? g.tardiness_standalone / g.weight
                      : g.tardiness_standalone;
-    order.push_back(it);
   }
   const bool smallest_first =
       config_.ranking == InterRanking::kSmallestTardinessFirst;
-  std::stable_sort(order.begin(), order.end(),
-                   [smallest_first](auto a, auto b) {
-                     const double ta = a->second.rank_key;
-                     const double tb = b->second.rank_key;
-                     return smallest_first ? ta < tb : ta > tb;
-                   });
+  // Deterministic total order (rank key, then group key ascending) -- exactly
+  // what the seed's stable_sort over the key-ascending std::map produced,
+  // but via std::sort, which unlike stable_sort allocates no merge buffer.
+  std::sort(order_.begin(), order_.end(),
+            [this, smallest_first](std::uint32_t a, std::uint32_t b) {
+              const GroupSlot& ga = slots_[a];
+              const GroupSlot& gb = slots_[b];
+              if (ga.rank_key != gb.rank_key) {
+                return smallest_first ? ga.rank_key < gb.rank_key
+                                      : ga.rank_key > gb.rank_key;
+              }
+              return ga.key < gb.key;
+            });
 
   // --- MADD pass: pace member j to deadline d_j + t* -------------------------
   // Groups are served in rank order against residual capacity. Within a
@@ -129,10 +240,10 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
   // absorbs slack before any later deadline sees it, which on a single
   // bottleneck reproduces full-rate EDF exactly. With a single level (Eq. 5
   // arrangement) the pass degenerates to Coflow-MADD (Property 2).
-  detail::ResidualCaps caps(&topo);
-  for (auto it : order) {
-    Group& g = it->second;
-    const double tstar = min_uniform_tardiness(g, now, &caps, topo);
+  caps_.reset(&topo);
+  for (const std::uint32_t si : order_) {
+    GroupSlot& g = slots_[si];
+    const double tstar = min_uniform_tardiness(g, now, &caps_, topo);
     std::size_t i = 0;
     while (i < g.members.size()) {
       std::size_t j = i + 1;
@@ -151,23 +262,26 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
           // prefix ending at itself); guard against degenerate input anyway.
           rate = horizon > 0.0 ? f->remaining / horizon : kInf;
         }
-        rate = std::min(rate, caps.path_residual(*f));
+        rate = std::min(rate, caps_.path_residual(*f));
         f->weight = 1.0;
         f->rate_cap = rate;
-        caps.consume(*f, rate);
+        caps_.consume(*f, rate);
       }
 
-      // 2. Work conservation for the level.
+      // 2. Work conservation for the level (per-link load accumulated in the
+      // epoch-stamped load_scratch_ arena; lambda is a min-fold over the
+      // touched links, so touch order does not affect the result).
       if (config_.work_conserving) {
-        std::unordered_map<std::uint64_t, double> load;
+        load_scratch_.begin_pass(topo);
         for (std::size_t k = i; k < j; ++k) {
           const netsim::Flow* f = g.members[k].flow;
-          for (LinkId lid : f->path) load[lid.value()] += f->remaining;
+          for (LinkId lid : f->path) load_scratch_.touch(lid) += f->remaining;
         }
         double lambda = kInf;
-        for (const auto& [lid, bytes] : load) {
+        for (const std::uint32_t li : load_scratch_.touched()) {
+          const double bytes = load_scratch_.at(LinkId{li});
           if (bytes <= 0.0) continue;
-          lambda = std::min(lambda, caps.residual(LinkId{lid}) / bytes);
+          lambda = std::min(lambda, caps_.residual(LinkId{li}) / bytes);
         }
         if (std::isfinite(lambda) && lambda > 0.0) {
           for (std::size_t k = i; k < j; ++k) {
@@ -175,7 +289,7 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
             const double extra = f->remaining * lambda;
             if (extra <= 0.0) continue;
             f->rate_cap = *f->rate_cap + extra;
-            caps.consume(*f, extra);
+            caps_.consume(*f, extra);
           }
         }
       }
@@ -188,12 +302,12 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
   // member of a level is blocked by a higher-ranked EchelonFlow while the
   // others have idle ports.
   if (config_.work_conserving) {
-    for (auto it : order) {
-      for (Member& m : it->second.members) {
-        const double extra = caps.path_residual(*m.flow);
+    for (const std::uint32_t si : order_) {
+      for (CachedMember& m : slots_[si].members) {
+        const double extra = caps_.path_residual(*m.flow);
         if (extra <= 0.0 || !std::isfinite(extra)) continue;
         m.flow->rate_cap = *m.flow->rate_cap + extra;
-        caps.consume(*m.flow, extra);
+        caps_.consume(*m.flow, extra);
       }
     }
   }

@@ -1,23 +1,43 @@
 // Residual link-capacity tracking shared by the MADD-family schedulers.
+//
+// Arena-backed: the residual table is a dense, epoch-stamped array indexed
+// by LinkId (see topology/dense.hpp). reset() re-arms it in O(1) -- no
+// per-pass hash maps, no O(L) clears. Scheduler objects keep a ResidualCaps
+// member across control() passes so the backing arrays are allocated once
+// and steady-state passes are allocation-free. A link that was never
+// consumed this pass reads as its full (current) capacity straight from the
+// topology, so runtime capacity changes are picked up automatically.
 
 #pragma once
 
-#include <unordered_map>
+#include <algorithm>
+#include <limits>
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "netsim/flow.hpp"
+#include "topology/dense.hpp"
 #include "topology/graph.hpp"
 
 namespace echelon::ef::detail {
 
 class ResidualCaps {
  public:
-  explicit ResidualCaps(const topology::Topology* topo) : topo_(topo) {}
+  ResidualCaps() = default;
+  // Convenience for one-shot use; long-lived schedulers should hold a member
+  // and call reset() once per control() pass instead.
+  explicit ResidualCaps(const topology::Topology* topo) { reset(topo); }
+
+  // Re-arms the table: every link is back to full capacity. O(1) after the
+  // arena has grown to the topology's link count.
+  void reset(const topology::Topology* topo) {
+    topo_ = topo;
+    scratch_.begin_pass(*topo);
+  }
 
   [[nodiscard]] double residual(LinkId lid) const {
-    const auto it = residual_.find(lid.value());
-    return it != residual_.end() ? it->second : topo_->link(lid).capacity;
+    const double* r = scratch_.find(lid);
+    return r != nullptr ? *r : topo_->link(lid).capacity;
   }
 
   // Smallest residual along a flow's path (infinity for empty paths).
@@ -30,15 +50,14 @@ class ResidualCaps {
   void consume(const netsim::Flow& f, double rate) {
     if (rate <= 0.0) return;
     for (LinkId lid : f.path) {
-      auto [it, inserted] = residual_.try_emplace(lid.value(),
-                                                  topo_->link(lid).capacity);
-      it->second = std::max(0.0, it->second - rate);
+      double& r = scratch_.touch(lid, topo_->link(lid).capacity);
+      r = std::max(0.0, r - rate);
     }
   }
 
  private:
-  const topology::Topology* topo_;
-  std::unordered_map<std::uint64_t, double> residual_;
+  const topology::Topology* topo_ = nullptr;
+  topology::LinkScratch<double> scratch_;
 };
 
 }  // namespace echelon::ef::detail

@@ -72,13 +72,13 @@ void SincroniaScheduler::control(netsim::Simulator& sim,
   }
 
   // --- greedy order-respecting water-fill -------------------------------------
-  detail::ResidualCaps caps(&topo);
+  caps_.reset(&topo);
   for (auto it = reverse_order.rbegin(); it != reverse_order.rend(); ++it) {
     for (netsim::Flow* f : (*it)->flows) {
-      const double rate = caps.path_residual(*f);
+      const double rate = caps_.path_residual(*f);
       f->weight = 1.0;
       f->rate_cap = std::isfinite(rate) ? rate : 0.0;
-      caps.consume(*f, *f->rate_cap);
+      caps_.consume(*f, *f->rate_cap);
     }
   }
 }

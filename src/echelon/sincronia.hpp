@@ -25,6 +25,14 @@ class SincroniaScheduler final : public netsim::NetworkScheduler {
                std::span<netsim::Flow*> active) override;
 
   [[nodiscard]] std::string name() const override { return "sincronia"; }
+
+ private:
+  // Arena-backed residual port state (allocation-free after warm-up). The
+  // BSSI ordering itself keeps its per-pass hash maps: its bottleneck argmax
+  // ties break on map iteration order, so converting it to dense touched
+  // lists would silently change schedules -- deferred until goldens bless a
+  // deterministic tie-break.
+  detail::ResidualCaps caps_;
 };
 
 }  // namespace echelon::ef

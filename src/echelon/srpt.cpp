@@ -1,36 +1,36 @@
 #include "echelon/srpt.hpp"
 
 #include <algorithm>
-#include <vector>
 
 namespace echelon::ef {
 
 void SrptScheduler::control(netsim::Simulator& sim,
                             std::span<netsim::Flow*> active) {
-  std::vector<netsim::Flow*> order;
-  order.reserve(active.size());
+  order_.clear();
   for (netsim::Flow* f : active) {
     if (f->path.empty()) {
       f->weight = 1.0;
       f->rate_cap.reset();
       continue;
     }
-    order.push_back(f);
+    order_.push_back(f);
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const netsim::Flow* a, const netsim::Flow* b) {
-                     if (a->remaining != b->remaining) {
-                       return a->remaining < b->remaining;
-                     }
-                     return a->id < b->id;  // deterministic tie-break
-                   });
+  // (remaining, id) is a total order, so plain std::sort suffices (and,
+  // unlike stable_sort, allocates no merge buffer).
+  std::sort(order_.begin(), order_.end(),
+            [](const netsim::Flow* a, const netsim::Flow* b) {
+              if (a->remaining != b->remaining) {
+                return a->remaining < b->remaining;
+              }
+              return a->id < b->id;  // deterministic tie-break
+            });
 
-  detail::ResidualCaps caps(&sim.topology());
-  for (netsim::Flow* f : order) {
-    const double rate = caps.path_residual(*f);
+  caps_.reset(&sim.topology());
+  for (netsim::Flow* f : order_) {
+    const double rate = caps_.path_residual(*f);
     f->weight = 1.0;
     f->rate_cap = std::isfinite(rate) ? rate : 0.0;
-    caps.consume(*f, f->rate_cap.value());
+    caps_.consume(*f, f->rate_cap.value());
   }
 }
 

@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "echelon/linkcaps.hpp"
 #include "netsim/scheduler.hpp"
 #include "netsim/simulator.hpp"
@@ -21,6 +23,11 @@ class SrptScheduler final : public netsim::NetworkScheduler {
                std::span<netsim::Flow*> active) override;
 
   [[nodiscard]] std::string name() const override { return "srpt"; }
+
+ private:
+  // Reusable per-pass arenas (allocation-free after warm-up).
+  std::vector<netsim::Flow*> order_;
+  detail::ResidualCaps caps_;
 };
 
 }  // namespace echelon::ef

@@ -2,26 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
-#include <unordered_map>
 
 namespace echelon::netsim {
 
-namespace {
+void RateAllocator::allocate(std::span<Flow*> flows) {
+  // Per-round link state, stamped only for links that carry at least one
+  // flow (lazy epoch reset; no per-pass map rebuild).
+  links_.begin_pass(*topo_);
+  unfrozen_.clear();
+  path_flat_.clear();
 
-struct LinkLoad {
-  double remaining_capacity = 0.0;
-  double unfrozen_weight = 0.0;  // sum of weights of unfrozen flows here
-};
-
-}  // namespace
-
-void RateAllocator::allocate(std::span<Flow*> flows) const {
-  // Per-round link state, built only for links that carry at least one flow.
-  std::unordered_map<std::uint64_t, LinkLoad> links;
-
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows.size());
   for (Flow* f : flows) {
     if (f->finished()) {
       f->rate = 0.0;
@@ -37,72 +29,73 @@ void RateAllocator::allocate(std::span<Flow*> flows) const {
                             : std::numeric_limits<double>::infinity();
       continue;
     }
-    unfrozen.push_back(f);
+    const auto begin = static_cast<std::uint32_t>(path_flat_.size());
     for (LinkId lid : f->path) {
-      auto [it, inserted] = links.try_emplace(lid.value());
-      if (inserted) {
-        it->second.remaining_capacity = topo_->link(lid).capacity;
-      }
-      it->second.unfrozen_weight += f->weight;
+      path_flat_.push_back(static_cast<std::uint32_t>(lid.value()));
+      LinkLoad& ll = links_.touch(lid, LinkLoad{topo_->link(lid).capacity, 0.0});
+      ll.unfrozen_weight += f->weight;
     }
+    unfrozen_.push_back(
+        ActiveFlow{f, begin, static_cast<std::uint32_t>(path_flat_.size())});
   }
 
   // Progressive filling: repeatedly raise the "water level" (rate per unit
   // weight) until a link saturates or a flow reaches its cap; freeze and
   // repeat. Each round freezes at least one flow or saturates at least one
   // link, so the loop terminates in O(flows + links) rounds.
-  while (!unfrozen.empty()) {
+  while (!unfrozen_.empty()) {
     // Max additional level permitted by each constraining link.
     double delta = std::numeric_limits<double>::infinity();
-    for (const Flow* f : unfrozen) {
-      for (LinkId lid : f->path) {
-        const LinkLoad& ll = links.at(lid.value());
+    for (const ActiveFlow& a : unfrozen_) {
+      for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
+        const LinkLoad& ll = links_.at(LinkId{path_flat_[p]});
         assert(ll.unfrozen_weight > 0.0);
         delta = std::min(delta, ll.remaining_capacity / ll.unfrozen_weight);
       }
-      if (f->rate_cap) {
-        delta = std::min(delta, (*f->rate_cap - f->rate) / f->weight);
+      if (a.flow->rate_cap) {
+        delta = std::min(delta, (*a.flow->rate_cap - a.flow->rate) /
+                                    a.flow->weight);
       }
     }
     if (!std::isfinite(delta)) break;  // defensive: no constraint found
     delta = std::max(delta, 0.0);
 
     // Apply the level increase and freeze exhausted flows.
-    std::vector<Flow*> next;
-    next.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      const double inc = f->weight * delta;
-      f->rate += inc;
-      for (LinkId lid : f->path) {
-        links.at(lid.value()).remaining_capacity -= inc;
+    next_.clear();
+    for (const ActiveFlow& a : unfrozen_) {
+      const double inc = a.flow->weight * delta;
+      a.flow->rate += inc;
+      for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
+        links_.at(LinkId{path_flat_[p]}).remaining_capacity -= inc;
       }
     }
     // Freezing pass (separate from the increment so all link updates land
     // before saturation checks).
     constexpr double kEps = 1e-12;
-    for (Flow* f : unfrozen) {
+    for (const ActiveFlow& a : unfrozen_) {
+      Flow* f = a.flow;
       bool frozen = false;
       if (f->rate_cap && f->rate >= *f->rate_cap - kEps) {
         f->rate = *f->rate_cap;
         frozen = true;
       } else {
-        for (LinkId lid : f->path) {
-          if (links.at(lid.value()).remaining_capacity <= kEps) {
+        for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
+          if (links_.at(LinkId{path_flat_[p]}).remaining_capacity <= kEps) {
             frozen = true;
             break;
           }
         }
       }
       if (frozen) {
-        for (LinkId lid : f->path) {
-          links.at(lid.value()).unfrozen_weight -= f->weight;
+        for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
+          links_.at(LinkId{path_flat_[p]}).unfrozen_weight -= f->weight;
         }
       } else {
-        next.push_back(f);
+        next_.push_back(a);
       }
     }
-    if (next.size() == unfrozen.size()) break;  // defensive: no progress
-    unfrozen.swap(next);
+    if (next_.size() == unfrozen_.size()) break;  // defensive: no progress
+    unfrozen_.swap(next_);
   }
 }
 

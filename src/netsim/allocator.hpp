@@ -10,13 +10,24 @@
 // flow is never pushed above its cap. This gives schedulers exact rate
 // control (MADD-style deliberate slowdown) while the default -- every cap
 // unset, every weight 1 -- degenerates to TCP-like per-flow max-min fairness.
+//
+// Hot-path data layout: the allocator runs after every scheduler control()
+// pass, so its per-round state is arena-backed (see DESIGN.md). Per-link
+// load lives in an epoch-stamped dense array indexed by LinkId; the unfrozen
+// / next working sets are reusable member buffers; and each flow's link
+// indices are flattened once per pass into a contiguous u32 arena so the
+// water-filling inner loops walk a flat array instead of re-resolving
+// LinkIds through a hash map. Steady-state allocate() calls perform no heap
+// allocations after warm-up.
 
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "netsim/flow.hpp"
+#include "topology/dense.hpp"
 #include "topology/graph.hpp"
 
 namespace echelon::netsim {
@@ -26,10 +37,29 @@ class RateAllocator {
   explicit RateAllocator(const topology::Topology* topo) : topo_(topo) {}
 
   // Overwrites `rate` on every flow in `flows`. Finished flows get rate 0.
-  void allocate(std::span<Flow*> flows) const;
+  // Non-const: reuses the allocator's internal arenas across calls.
+  void allocate(std::span<Flow*> flows);
 
  private:
+  struct LinkLoad {
+    double remaining_capacity = 0.0;
+    double unfrozen_weight = 0.0;  // sum of weights of unfrozen flows here
+  };
+  // A contending flow plus the [begin, end) range of its cached link indices
+  // in path_flat_.
+  struct ActiveFlow {
+    Flow* flow = nullptr;
+    std::uint32_t path_begin = 0;
+    std::uint32_t path_end = 0;
+  };
+
   const topology::Topology* topo_;
+
+  // --- reusable arenas (allocation-free after warm-up) ---
+  topology::LinkScratch<LinkLoad> links_;
+  std::vector<ActiveFlow> unfrozen_;
+  std::vector<ActiveFlow> next_;
+  std::vector<std::uint32_t> path_flat_;  // cached dense link indices
 };
 
 }  // namespace echelon::netsim

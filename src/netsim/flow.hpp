@@ -34,9 +34,17 @@ enum class FlowState { kActive, kFinished };
 
 // Live flow state, owned by the Simulator.
 struct Flow {
+  // Sentinel for `active_index` when the flow is not in the active set.
+  static constexpr std::size_t kNotActive = static_cast<std::size_t>(-1);
+
   FlowId id;
   FlowSpec spec;
   topology::Path path;          // directed links traversed
+
+  // Simulator bookkeeping: this flow's slot in Simulator::active_flows_,
+  // enabling O(1) swap-and-pop retirement (kNotActive while inactive).
+  // Maintained exclusively by the Simulator.
+  std::size_t active_index = kNotActive;
 
   FlowState state = FlowState::kActive;
   Bytes remaining = 0.0;

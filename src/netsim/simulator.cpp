@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/log.hpp"
 
@@ -90,7 +92,19 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
   f.start_time = now_;
   if (f.spec.src != f.spec.dst) {
     auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
-    assert(path.has_value() && "flow endpoints must be connected");
+    if (!path.has_value()) {
+      // A disconnected endpoint pair is a caller bug (bad workload spec or
+      // topology), not a recoverable condition -- but it must not vanish in
+      // release builds the way the old assert did.
+      ECHELON_LOG(kError) << "submit_flow: no route from node "
+                          << f.spec.src.value() << " to node "
+                          << f.spec.dst.value() << " (flow '" << f.spec.label
+                          << "')";
+      throw std::invalid_argument(
+          "Simulator::submit_flow: no route from node " +
+          std::to_string(f.spec.src.value()) + " to node " +
+          std::to_string(f.spec.dst.value()));
+    }
     f.path = std::move(*path);
   }
   flows_.push_back(std::move(f));
@@ -113,7 +127,8 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
     for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
     return id;
   }
-  active_flows_.push_back(id);
+  flows_.at(id.value()).active_index = active_flows_.size();
+  active_flows_.push_back(id);  // ids are monotonic: tail push keeps order
   allocation_dirty_ = true;
   scheduler_->on_flow_arrival(*this, flows_.at(id.value()));
   return id;
@@ -125,13 +140,30 @@ void Simulator::schedule_at(SimTime at, TimerCallback cb) {
 }
 
 void Simulator::reallocate() {
-  std::vector<Flow*> active;
-  active.reserve(active_flows_.size());
-  for (FlowId id : active_flows_) active.push_back(&flows_.at(id.value()));
-  scheduler_->control(*this, active);
+  // Schedulers tie-break on span order, so present flows in ascending-FlowId
+  // order (the seed invariant) even after swap-and-pop retirements.
+  restore_active_order();
+  active_scratch_.clear();
+  active_scratch_.reserve(active_flows_.size());
+  for (FlowId id : active_flows_) {
+    active_scratch_.push_back(&flows_.at(id.value()));
+  }
+  scheduler_->control(*this, active_scratch_);
   ++control_invocations_;
-  allocator_.allocate(active);
+  allocator_.allocate(active_scratch_);
   allocation_dirty_ = false;
+}
+
+void Simulator::restore_active_order() {
+  if (!active_order_dirty_) return;
+  // FlowIds are monotonic and never reused, so ascending id == seed insertion
+  // order. Sorting (no allocation: introsort) restores the exact active-set
+  // order the seed maintained with order-preserving erase.
+  std::sort(active_flows_.begin(), active_flows_.end());
+  for (std::size_t i = 0; i < active_flows_.size(); ++i) {
+    flows_.at(active_flows_[i].value()).active_index = i;
+  }
+  active_order_dirty_ = false;
 }
 
 SimTime Simulator::earliest_completion() const noexcept {
@@ -151,7 +183,21 @@ void Simulator::finish_flow(FlowId id) {
   f.finish_time = now_;
   f.remaining = 0.0;
   f.rate = 0.0;
-  std::erase(active_flows_, id);
+  // O(1) swap-and-pop retirement (the seed did a linear std::erase). The
+  // swap perturbs ascending-FlowId order; restore_active_order() repairs it
+  // before anything order-sensitive runs.
+  const std::size_t idx = f.active_index;
+  assert(idx != Flow::kNotActive && idx < active_flows_.size() &&
+         active_flows_[idx] == id && "finish_flow on inactive flow");
+  const std::size_t last = active_flows_.size() - 1;
+  if (idx != last) {
+    const FlowId moved = active_flows_[last];
+    active_flows_[idx] = moved;
+    flows_.at(moved.value()).active_index = idx;
+    active_order_dirty_ = true;
+  }
+  active_flows_.pop_back();
+  f.active_index = Flow::kNotActive;
   allocation_dirty_ = true;
 
   ECHELON_LOG(kDebug) << "flow " << f.spec.label << " done at " << now_;
@@ -177,7 +223,9 @@ SimTime Simulator::run(SimTime deadline) {
     if (allocation_dirty_) {
       reallocate();
       // Retire flows completed by callbacks racing with reallocation --
-      // e.g. infinite-rate loopback flows.
+      // e.g. infinite-rate loopback flows. Sweep in ascending-id order
+      // (descending index) so completion callbacks fire as in the seed.
+      restore_active_order();
       bool retired = false;
       for (std::size_t i = active_flows_.size(); i-- > 0;) {
         Flow& f = flows_.at(active_flows_[i].value());
@@ -226,6 +274,7 @@ SimTime Simulator::run(SimTime deadline) {
     // runs use ~1e30 B/s links) `now + remaining/rate` is not representable
     // as a distinct double and the flow could otherwise never retire.
     const double horizon = kTimeEpsilon * std::max(1.0, std::fabs(now_));
+    restore_active_order();  // retire in descending-id order, as the seed did
     for (std::size_t i = active_flows_.size(); i-- > 0;) {
       Flow& f = flows_.at(active_flows_[i].value());
       if (f.remaining <= kBytesEpsilon ||

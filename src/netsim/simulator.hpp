@@ -125,6 +125,9 @@ class Simulator {
   void start_next_task(WorkerId worker);
   void finish_task(TaskId id);
   void finish_flow(FlowId id);
+  // Re-establishes ascending-FlowId order of active_flows_ after swap-and-pop
+  // retirements (callback and scheduler tie-break order depend on it).
+  void restore_active_order();
   [[nodiscard]] SimTime earliest_completion() const noexcept;
 
   const topology::Topology* topo_;
@@ -138,6 +141,9 @@ class Simulator {
   std::vector<Flow> flows_;             // indexed by FlowId; never shrinks
   std::vector<FlowCallback> flow_done_; // parallel to flows_
   std::vector<FlowId> active_flows_;
+  // Reused by reallocate() so steady-state control passes are allocation-free
+  // (grows to the high-water mark of the active set, never shrinks).
+  std::vector<Flow*> active_scratch_;
 
   std::vector<Worker> workers_;
   std::vector<ComputeTask> tasks_;
@@ -148,6 +154,9 @@ class Simulator {
   std::vector<TaskCallback> task_listeners_;
 
   bool allocation_dirty_ = false;
+  // True when swap-and-pop retirement has perturbed active_flows_ away from
+  // ascending-FlowId order.
+  bool active_order_dirty_ = false;
   std::uint64_t control_invocations_ = 0;
 };
 

@@ -55,11 +55,17 @@ class Coordinator final : public netsim::NetworkScheduler {
   // --- NetworkScheduler -------------------------------------------------------
   void control(netsim::Simulator& sim,
                std::span<netsim::Flow*> active) override;
-  void on_flow_arrival(netsim::Simulator&, const netsim::Flow&) override {
+  // Forward membership hooks to the inner heuristic so its persistent group
+  // cache stays incremental (it would otherwise fall back to full rebuilds).
+  void on_flow_arrival(netsim::Simulator& sim,
+                       const netsim::Flow& flow) override {
     ++dirty_events_;
+    policy_.on_flow_arrival(sim, flow);
   }
-  void on_flow_departure(netsim::Simulator&, const netsim::Flow&) override {
+  void on_flow_departure(netsim::Simulator& sim,
+                         const netsim::Flow& flow) override {
     ++dirty_events_;
+    policy_.on_flow_departure(sim, flow);
   }
   [[nodiscard]] std::string name() const override;
 

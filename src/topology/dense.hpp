@@ -1,0 +1,53 @@
+// LinkId-indexed dense scratch bound to a Topology.
+//
+// LinkIds are dense vector indices into Topology::links(), so per-pass
+// per-link state (residual capacity, prefix loads, water-filling link loads)
+// belongs in an epoch-stamped flat array rather than a hash map. LinkScratch
+// wraps EpochScratch with the strongly-typed LinkId interface and sizes
+// itself from the topology at the start of every pass -- growing lazily if
+// links were added, never shrinking, never allocating in steady state.
+
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/scratch.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::topology {
+
+template <typename T>
+class LinkScratch {
+ public:
+  // Arms the scratch for a new pass over `topo` (O(1) once the arena has
+  // reached the topology's link count).
+  void begin_pass(const Topology& topo) {
+    scratch_.ensure_size(topo.link_count());
+    scratch_.begin_pass();
+  }
+
+  [[nodiscard]] bool active(LinkId id) const {
+    return scratch_.active(id.value());
+  }
+
+  T& touch(LinkId id) { return scratch_.touch(id.value()); }
+  T& touch(LinkId id, const T& init) { return scratch_.touch(id.value(), init); }
+
+  [[nodiscard]] T& at(LinkId id) { return scratch_.at(id.value()); }
+  [[nodiscard]] const T& at(LinkId id) const { return scratch_.at(id.value()); }
+
+  [[nodiscard]] const T* find(LinkId id) const {
+    return scratch_.find(id.value());
+  }
+
+  // Link indices touched this pass, in first-touch order. Iterate this for
+  // max/min folds over sparse per-link accumulations (the folds themselves
+  // are order-independent).
+  [[nodiscard]] const std::vector<std::uint32_t>& touched() const noexcept {
+    return scratch_.touched();
+  }
+
+ private:
+  EpochScratch<T> scratch_;
+};
+
+}  // namespace echelon::topology
