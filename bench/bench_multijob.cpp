@@ -13,7 +13,7 @@
 
 #include <iostream>
 
-#include "cluster/experiment.hpp"
+#include "cluster/sweep.hpp"
 #include "cluster/trace.hpp"
 #include "common/table.hpp"
 
@@ -33,20 +33,36 @@ int main() {
   std::cout << "=== EXT-A: mixed-paradigm cluster, " << jobs.size()
             << " jobs, load sweep ===\n\n";
 
-  for (const int hosts : {32, 16, 8}) {
-    std::cout << "-- " << hosts << " hosts (higher load = fewer hosts) --\n";
-    Table table({"scheduler", "mean iter (s)", "p99 iter (s)",
-                 "mean JCT (s)", "GPU idle", "sum tardiness (s)",
-                 "makespan (s)"});
-    for (const auto kind : {cluster::SchedulerKind::kFairSharing,
-                            cluster::SchedulerKind::kSrpt,
-                            cluster::SchedulerKind::kCoflowMadd,
-                            cluster::SchedulerKind::kEchelonMadd}) {
+  // Build the full (hosts x scheduler) grid up front and run it through the
+  // parallel sweep runner; results come back in point order, so the tables
+  // print exactly as the serial loop did.
+  const std::vector<int> host_counts = {32, 16, 8};
+  const std::vector<cluster::SchedulerKind> kinds = {
+      cluster::SchedulerKind::kFairSharing, cluster::SchedulerKind::kSrpt,
+      cluster::SchedulerKind::kCoflowMadd,
+      cluster::SchedulerKind::kEchelonMadd};
+
+  std::vector<cluster::SweepPoint> points;
+  points.reserve(host_counts.size() * kinds.size());
+  for (const int hosts : host_counts) {
+    for (const auto kind : kinds) {
       cluster::ExperimentConfig cfg;
       cfg.scheduler = kind;
       cfg.hosts = hosts;
       cfg.port_capacity = gbps(25);
-      const auto r = cluster::run_experiment(jobs, cfg);
+      points.push_back({jobs, cfg});
+    }
+  }
+  const auto results = cluster::run_sweep(points);
+
+  std::size_t p = 0;
+  for (const int hosts : host_counts) {
+    std::cout << "-- " << hosts << " hosts (higher load = fewer hosts) --\n";
+    Table table({"scheduler", "mean iter (s)", "p99 iter (s)",
+                 "mean JCT (s)", "GPU idle", "sum tardiness (s)",
+                 "makespan (s)"});
+    for (const auto kind : kinds) {
+      const auto& r = results[p++];
       const auto iters = r.iteration_samples();
       table.add_row({std::string(cluster::to_string(kind)),
                      Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "cluster/experiment.hpp"
+#include "cluster/sweep.hpp"
 #include "cluster/trace.hpp"
 #include "common/table.hpp"
 
@@ -42,21 +42,35 @@ int main() {
       {"leaf-spine 4:1", cluster::FabricKind::kLeafSpine, 4.0},
   };
 
+  const std::vector<cluster::SchedulerKind> kinds = {
+      cluster::SchedulerKind::kFairSharing, cluster::SchedulerKind::kSrpt,
+      cluster::SchedulerKind::kCoflowMadd,
+      cluster::SchedulerKind::kEchelonMadd};
+
+  // (fabric x scheduler) grid through the parallel sweep runner; results
+  // come back in point order, so the tables print as the serial loop did.
+  std::vector<cluster::SweepPoint> points;
+  points.reserve(fabrics.size() * kinds.size());
   for (const Fabric& fabric : fabrics) {
-    std::cout << "-- " << fabric.name << " --\n";
-    Table t({"scheduler", "mean iter (s)", "p99 iter (s)",
-             "sum tardiness (s)", "makespan (s)"});
-    for (const auto kind : {cluster::SchedulerKind::kFairSharing,
-                            cluster::SchedulerKind::kSrpt,
-                            cluster::SchedulerKind::kCoflowMadd,
-                            cluster::SchedulerKind::kEchelonMadd}) {
+    for (const auto kind : kinds) {
       cluster::ExperimentConfig cfg;
       cfg.scheduler = kind;
       cfg.fabric = fabric.kind;
       cfg.oversubscription = fabric.oversub;
       cfg.hosts = 16;
       cfg.port_capacity = gbps(25);
-      const auto r = cluster::run_experiment(jobs, cfg);
+      points.push_back({jobs, cfg});
+    }
+  }
+  const auto results = cluster::run_sweep(points);
+
+  std::size_t p = 0;
+  for (const Fabric& fabric : fabrics) {
+    std::cout << "-- " << fabric.name << " --\n";
+    Table t({"scheduler", "mean iter (s)", "p99 iter (s)",
+             "sum tardiness (s)", "makespan (s)"});
+    for (const auto kind : kinds) {
+      const auto& r = results[p++];
       const auto iters = r.iteration_samples();
       t.add_row({std::string(cluster::to_string(kind)),
                  Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),

@@ -50,7 +50,9 @@ workload::GeneratedJob generate(const JobSpec& spec,
                                           .gpu = spec.gpu,
                                           .micro_batches = spec.micro_batches,
                                           .iterations = spec.iterations,
-                                          .schedule = spec.pp_schedule},
+                                          .schedule = spec.pp_schedule,
+                                          .compute_jitter = spec.compute_jitter,
+                                          .jitter_seed = spec.jitter_seed},
                                          placement, registry, id);
     case Paradigm::kTensor:
       return workload::generate_tensor({.model = spec.model,
@@ -60,7 +62,9 @@ workload::GeneratedJob generate(const JobSpec& spec,
     case Paradigm::kFsdp:
       return workload::generate_fsdp({.model = spec.model,
                                       .gpu = spec.gpu,
-                                      .iterations = spec.iterations},
+                                      .iterations = spec.iterations,
+                                      .compute_jitter = spec.compute_jitter,
+                                      .jitter_seed = spec.jitter_seed},
                                      placement, registry, id);
     case Paradigm::kExpert:
       return workload::generate_expert({.model = spec.model,
@@ -92,7 +96,7 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
          .uplink = hosts_per_leaf * config.port_capacity /
                    (spines * config.oversubscription)});
   }
-  netsim::Simulator sim(&fabric.topo);
+  netsim::Simulator sim(&fabric.topo, config.loop_mode);
 
   // Scheduler stack. The coordinator owns its registry; other schedulers
   // share a standalone one (attached for tardiness measurement either way).

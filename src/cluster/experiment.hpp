@@ -9,6 +9,7 @@
 #include "cluster/metrics.hpp"
 #include "common/units.hpp"
 #include "echelon/echelon_madd.hpp"
+#include "netsim/simulator.hpp"
 #include "runtime/coordinator.hpp"
 
 namespace echelon::cluster {
@@ -58,6 +59,11 @@ struct ExperimentConfig {
 
   // Wrap the policy in K-queue priority enforcement (0 = exact rates).
   int priority_queues = 0;
+
+  // Simulator event-loop strategy. kLazy is the production fast path;
+  // kEagerScan is the O(active)-per-event reference the golden-equivalence
+  // suite compares against (results are bit-identical by construction).
+  netsim::SimLoopMode loop_mode = netsim::SimLoopMode::kLazy;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,

@@ -24,6 +24,13 @@ struct JobSpec {
   workload::PipelineSchedule pp_schedule =
       workload::PipelineSchedule::kGpipe;
 
+  // Multiplicative per-task compute jitter (PP / FSDP; relative stddev,
+  // 0 = exact). The jitter stream is seeded per job at generation time, so
+  // results are a pure function of the spec -- independent of which thread
+  // of a sweep runs the experiment.
+  double compute_jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+
   [[nodiscard]] std::string describe() const {
     return std::string(workload::to_string(paradigm)) + "/" + model.name +
            "/x" + std::to_string(ranks);

@@ -1,0 +1,73 @@
+#include "cluster/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace echelon::cluster {
+
+namespace {
+
+[[nodiscard]] unsigned resolve_threads(unsigned requested,
+                                       std::size_t n) noexcept {
+  unsigned t = requested;
+  if (t == 0) {
+    t = std::thread::hardware_concurrency();
+    if (t == 0) t = 1;
+  }
+  // Never spawn more workers than there are points.
+  t = static_cast<unsigned>(
+      std::min<std::size_t>(t, std::max<std::size_t>(n, 1)));
+  return std::max(1u, t);
+}
+
+}  // namespace
+
+void parallel_for_indexed(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  threads = resolve_threads(threads, n);
+
+  // One exception slot per point: workers never touch each other's slots,
+  // so no lock is needed, and rethrowing the lowest failing index matches
+  // what a serial loop would have thrown first.
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() noexcept {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    // Serial fast path: run on the calling thread, no pool.
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepPoint>& points,
+                                        const SweepOptions& options) {
+  std::vector<ExperimentResult> results(points.size());
+  parallel_for_indexed(points.size(), options.threads, [&](std::size_t i) {
+    results[i] = run_experiment(points[i].jobs, points[i].config);
+  });
+  return results;
+}
+
+}  // namespace echelon::cluster

@@ -1,0 +1,52 @@
+// Parallel experiment sweep runner.
+//
+// A "sweep" is a list of independent experiment configurations (points).
+// run_sweep executes them across a small thread pool and returns results in
+// point order. Determinism contract: each experiment is a pure function of
+// its SweepPoint -- the simulator is single-threaded per experiment and all
+// randomness (e.g. compute jitter) is seeded from the specs -- so the result
+// vector is identical for any thread count, including 1 (the host-side
+// `wall_ms` timing field is the only exception). The golden suite asserts
+// exactly this.
+//
+// Scheduling: workers claim point indices from a shared atomic counter
+// (dynamic load balancing; sweep points can differ wildly in cost).
+// Exceptions thrown by a point are captured and rethrown on the calling
+// thread -- the first failing index wins, matching serial semantics.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+
+namespace echelon::cluster {
+
+// One experiment in a sweep: a job mix plus the configuration to run it
+// under.
+struct SweepPoint {
+  std::vector<JobSpec> jobs;
+  ExperimentConfig config;
+};
+
+struct SweepOptions {
+  // Worker threads. 0 = one per hardware thread (at least 1); 1 = run
+  // serially on the calling thread (no pool spawned).
+  unsigned threads = 0;
+};
+
+// Runs every point and returns results[i] == run_experiment(points[i]).
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<SweepPoint>& points, const SweepOptions& options = {});
+
+// Deterministic parallel-for underlying run_sweep, exposed for benches whose
+// per-point runner is not run_experiment. Invokes fn(i) for every
+// i in [0, n) exactly once across `threads` workers (same semantics for
+// `threads` as SweepOptions::threads). fn must not touch shared mutable
+// state except through index i. Rethrows the lowest-index exception.
+void parallel_for_indexed(std::size_t n, unsigned threads,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace echelon::cluster

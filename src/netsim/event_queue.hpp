@@ -3,12 +3,29 @@
 // Ties in time are broken by insertion sequence number, so two events
 // scheduled for the same instant always fire in the order they were
 // scheduled -- a requirement for reproducible simulations.
+//
+// Hot-path layout (DESIGN.md "Event-loop fast path"): the heap itself is a
+// plain vector of 24-byte POD entries ordered with std::push_heap/pop_heap,
+// and the callbacks live in a side pool indexed by slot. Compared to the
+// seed's std::priority_queue<Entry{..., std::function}>:
+//   * heap sift operations move trivially-copyable entries instead of
+//     std::function objects (no virtual dispatch, no potential allocation
+//     per swap),
+//   * pop() moves the callback out of the owned pool slot -- no const_cast
+//     of priority_queue::top() needed,
+//   * slots are recycled through a free list, so once the queue has grown to
+//     its high-water depth, schedule()/pop() perform zero heap allocations
+//     beyond whatever the caller's std::function itself captures (callbacks
+//     whose captures fit the small-object buffer are entirely allocation
+//     free).
 
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -20,23 +37,35 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   void schedule(SimTime at, Callback cb) {
-    heap_.push(Entry{at, seq_++, std::move(cb)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      pool_[slot] = std::move(cb);
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(cb));
+    }
+    heap_.push_back(Entry{at, seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   [[nodiscard]] SimTime next_time() const noexcept {
-    return heap_.empty() ? kTimeInfinity : heap_.top().at;
+    return heap_.empty() ? kTimeInfinity : heap_.front().at;
   }
 
   // Pops and returns the earliest event. Precondition: !empty().
   [[nodiscard]] Callback pop() {
-    // std::priority_queue::top() returns const&; the callback must be moved
-    // out, so we const_cast the owned entry. Safe: the entry is removed
-    // immediately after and never observed again.
-    Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
-    heap_.pop();
+    assert(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    Callback cb = std::move(pool_[e.slot]);
+    pool_[e.slot] = nullptr;  // release captured state deterministically
+    free_slots_.push_back(e.slot);
     return cb;
   }
 
@@ -44,15 +73,20 @@ class EventQueue {
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    Callback cb;
-    // Min-heap: earliest time first, then lowest sequence number.
-    bool operator<(const Entry& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    std::uint32_t slot;
+  };
+  // Comparator for std::*_heap (which builds a max-heap): "a fires later
+  // than b" puts the earliest (time, then sequence) entry at the front.
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry> heap_;
+  std::vector<Entry> heap_;
+  std::vector<Callback> pool_;          // slot -> pending callback
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t seq_ = 0;
 };
 

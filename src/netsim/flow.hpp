@@ -45,8 +45,18 @@ struct Flow {
   // enabling O(1) swap-and-pop retirement (kNotActive while inactive).
   // Maintained exclusively by the Simulator.
   std::size_t active_index = kNotActive;
+  // Simulator bookkeeping: generation stamp tying this flow to its entry in
+  // the completion-time heap (DESIGN.md "Event-loop fast path"). An entry
+  // whose generation no longer matches is stale and is discarded lazily.
+  std::uint32_t completion_gen = 0;
 
   FlowState state = FlowState::kActive;
+  // Bytes left to transmit *as of the simulator's accounting epoch* (the
+  // last reallocation boundary or deadline stamp), not necessarily as of
+  // `now()`. The Simulator materializes the up-to-date value on demand as
+  // `remaining - rate * (now - epoch)`; between epochs this field is not
+  // advanced per event. Outside of `Simulator::run` (at quiescence or at a
+  // run deadline) the value is always materialized and exact.
   Bytes remaining = 0.0;
   SimTime start_time = 0.0;     // when the flow entered the network
   SimTime finish_time = kTimeInfinity;

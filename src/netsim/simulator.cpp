@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -15,8 +16,36 @@ namespace echelon::netsim {
 // floating-point error.
 constexpr Bytes kBytesEpsilon = 1e-6;
 
-Simulator::Simulator(const topology::Topology* topo)
-    : topo_(topo), allocator_(topo), scheduler_(&default_scheduler_) {
+namespace {
+
+// Canonical completion instant for an active flow under the epoch-stamped
+// accounting: the zero crossing of `remaining - rate * (t - epoch)`. Both
+// loop modes (and the retirement predicate) evaluate exactly this
+// expression on exactly these operands, which is what makes lazy and eager
+// runs bit-identical. Edge cases fall out of IEEE arithmetic: rate == +inf
+// gives epoch (finishes immediately); rate == 0 with positive remaining
+// gives +inf (never finishes on its own).
+[[nodiscard]] inline SimTime completion_time(SimTime epoch,
+                                             const Flow& f) noexcept {
+  return epoch + f.remaining / f.rate;
+}
+
+// Retirement horizon at instant `t`: a flow whose residual drains within the
+// simulator's relative time resolution counts as finished *now*. With
+// extreme rates (profiling runs use ~1e30 B/s links) the completion instant
+// is not representable as a distinct double and the flow could otherwise
+// never retire.
+[[nodiscard]] inline SimTime retire_threshold(SimTime t) noexcept {
+  return t + kTimeEpsilon * std::max(1.0, std::fabs(t));
+}
+
+}  // namespace
+
+Simulator::Simulator(const topology::Topology* topo, SimLoopMode mode)
+    : topo_(topo),
+      allocator_(topo),
+      scheduler_(&default_scheduler_),
+      mode_(mode) {
   assert(topo != nullptr);
 }
 
@@ -58,6 +87,7 @@ void Simulator::start_next_task(WorkerId worker) {
   t.start_time = now_;
   w.running = id;
   w.first_start = std::min(w.first_start, now_);
+  // [this, id] fits std::function's small-object buffer: no allocation.
   events_.schedule(now_ + t.duration, [this, id] { finish_task(id); });
 }
 
@@ -116,17 +146,16 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
     cb(*this, flows_.at(id.value()));
   }
   if (flows_.at(id.value()).remaining <= kBytesEpsilon) {
-    // Zero-byte flow (e.g. control message): completes instantly.
-    Flow& stored = flows_.at(id.value());
-    stored.state = FlowState::kFinished;
-    stored.finish_time = now_;
-    const Flow snapshot = stored;
-    if (FlowCallback cb = std::move(flow_done_.at(id.value())); cb) {
-      cb(*this, snapshot);
-    }
-    for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
+    // Zero-byte flow (e.g. control message): completes instantly, without
+    // ever joining the active set. The scheduler never saw it arrive, so it
+    // is not told about the departure either.
+    complete_flow(id, /*notify_scheduler=*/false);
     return id;
   }
+  // A flow submitted mid-epoch starts with rate 0 and is skipped by the
+  // stamping pass until the reallocation below assigns it a rate -- at which
+  // point the epoch has been moved to its start instant, so its `remaining`
+  // baseline is consistent with the epoch by construction.
   flows_.at(id.value()).active_index = active_flows_.size();
   active_flows_.push_back(id);  // ids are monotonic: tail push keeps order
   allocation_dirty_ = true;
@@ -136,7 +165,29 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
 
 void Simulator::schedule_at(SimTime at, TimerCallback cb) {
   assert(at >= now_ - kTimeEpsilon && "cannot schedule in the past");
-  events_.schedule(std::max(at, now_), [this, cb = std::move(cb)] { cb(*this); });
+  // Park the (potentially large) user callback in a pooled slot so the
+  // closure handed to the EventQueue is just {this, slot} -- within
+  // std::function's small-object buffer. Steady-state timer scheduling and
+  // firing therefore performs no heap allocation.
+  std::uint32_t slot;
+  if (!timer_free_.empty()) {
+    slot = timer_free_.back();
+    timer_free_.pop_back();
+    timer_pool_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(timer_pool_.size());
+    timer_pool_.push_back(std::move(cb));
+  }
+  events_.schedule(std::max(at, now_), [this, slot] { fire_timer(slot); });
+}
+
+void Simulator::fire_timer(std::uint32_t slot) {
+  // Release the slot before invoking: the callback may schedule new timers
+  // (and thus reuse it).
+  TimerCallback cb = std::move(timer_pool_[slot]);
+  timer_pool_[slot] = nullptr;
+  timer_free_.push_back(slot);
+  cb(*this);
 }
 
 void Simulator::reallocate() {
@@ -166,21 +217,94 @@ void Simulator::restore_active_order() {
   active_order_dirty_ = false;
 }
 
-SimTime Simulator::earliest_completion() const noexcept {
+void Simulator::stamp_active_flows(SimTime to) {
+  const Duration dt = to - epoch_time_;
+  if (dt > 0.0) {
+    for (FlowId id : active_flows_) {
+      Flow& f = flows_.at(id.value());
+      // Rate-0 flows (just-submitted, or starved by the allocator) make no
+      // progress; skipping them keeps the stamp proportional to *flowing*
+      // flows and avoids perturbing their byte counts.
+      if (f.rate == 0.0) continue;
+      f.remaining -= f.rate * dt;
+      // Accounting-drift canary: materialization may undershoot zero by
+      // rounding, never by more than the drain slack plus relative error on
+      // the flow size (large flows accumulate absolute ulp error).
+      assert(f.remaining >= -(kBytesEpsilon + 1e-9 * f.spec.size) &&
+             "lazy byte accounting drifted below zero");
+    }
+  }
+  epoch_time_ = to;
+  // Completion times are a function of (epoch, remaining, rate): moving the
+  // epoch re-derives them all (same values mathematically, different
+  // floating-point operands), so the heap must be rebuilt before next use.
+  completion_heap_dirty_ = true;
+}
+
+void Simulator::rebuild_completion_heap() {
+  completion_heap_.clear();
+  ++heap_gen_;
+  for (FlowId id : active_flows_) {
+    Flow& f = flows_.at(id.value());
+    if (f.rate <= 0.0) continue;  // never completes at its current rate
+    f.completion_gen = heap_gen_;
+    completion_heap_.push_back(
+        CompletionEntry{completion_time(epoch_time_, f), id, heap_gen_});
+  }
+  std::make_heap(completion_heap_.begin(), completion_heap_.end(),
+                 LaterCompletion{});
+  completion_heap_dirty_ = false;
+}
+
+SimTime Simulator::earliest_completion_scan() const noexcept {
   SimTime best = kTimeInfinity;
   for (FlowId id : active_flows_) {
     const Flow& f = flows_.at(id.value());
     if (f.rate <= 0.0) continue;
-    if (std::isinf(f.rate)) return now_;
-    best = std::min(best, now_ + f.remaining / f.rate);
+    best = std::min(best, completion_time(epoch_time_, f));
   }
   return best;
 }
 
-void Simulator::finish_flow(FlowId id) {
+SimTime Simulator::earliest_completion_heap() {
+  // Entries can only go stale between a rebuild and the next read if a
+  // callback retires a flow -- which also dirties the allocation and forces
+  // a rebuild first. The lazy-discard loop below is therefore belt and
+  // suspenders; it also keeps the method correct if that invariant ever
+  // loosens.
+  while (!completion_heap_.empty()) {
+    const CompletionEntry& e = completion_heap_.front();
+    const Flow& f = flows_.at(e.flow.value());
+    if (f.active_index != Flow::kNotActive && f.completion_gen == e.gen) {
+      return e.tc;
+    }
+    std::pop_heap(completion_heap_.begin(), completion_heap_.end(),
+                  LaterCompletion{});
+    completion_heap_.pop_back();
+  }
+  return kTimeInfinity;
+}
+
+void Simulator::complete_flow(FlowId id, bool notify_scheduler) {
   Flow& f = flows_.at(id.value());
   f.state = FlowState::kFinished;
   f.finish_time = now_;
+
+  ECHELON_LOG(kDebug) << "flow " << f.spec.label << " done at " << now_;
+
+  // Callbacks may submit flows and reallocate flows_, so work on a copy.
+  // Canonical departure order: scheduler hook, then the per-flow callback,
+  // then global listeners.
+  const Flow snapshot = f;
+  if (notify_scheduler) scheduler_->on_flow_departure(*this, snapshot);
+  if (FlowCallback cb = std::move(flow_done_.at(id.value())); cb) {
+    cb(*this, snapshot);
+  }
+  for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
+}
+
+void Simulator::finish_flow(FlowId id) {
+  Flow& f = flows_.at(id.value());
   f.remaining = 0.0;
   f.rate = 0.0;
   // O(1) swap-and-pop retirement (the seed did a linear std::erase). The
@@ -200,15 +324,7 @@ void Simulator::finish_flow(FlowId id) {
   f.active_index = Flow::kNotActive;
   allocation_dirty_ = true;
 
-  ECHELON_LOG(kDebug) << "flow " << f.spec.label << " done at " << now_;
-
-  // Callbacks may submit flows and reallocate flows_, so work on a copy.
-  const Flow snapshot = f;
-  scheduler_->on_flow_departure(*this, snapshot);
-  if (FlowCallback cb = std::move(flow_done_.at(id.value())); cb) {
-    cb(*this, snapshot);
-  }
-  for (const FlowCallback& cb : flow_listeners_) cb(*this, snapshot);
+  complete_flow(id, /*notify_scheduler=*/true);
 }
 
 SimTime Simulator::run(SimTime deadline) {
@@ -219,8 +335,12 @@ SimTime Simulator::run(SimTime deadline) {
       cb();
     }
 
-    // 2. Refresh rates if the flow set or control state changed.
+    // 2. Refresh rates if the flow set or control state changed. The stamp
+    // materializes every active flow's bytes at `now_` (the only O(active)
+    // byte pass in the loop), so the scheduler and allocator see exact
+    // remaining counts.
     if (allocation_dirty_) {
+      stamp_active_flows(now_);
       reallocate();
       // Retire flows completed by callbacks racing with reallocation --
       // e.g. infinite-rate loopback flows. Sweep in ascending-id order
@@ -237,49 +357,62 @@ SimTime Simulator::run(SimTime deadline) {
       if (retired) continue;  // callbacks may have scheduled work at `now_`
     }
 
-    // 3. Pick the next instant.
+    // 3. Pick the next instant. Lazy mode reads the heap top (rebuilding by
+    // heapify at most once per accounting epoch); eager mode scans.
+    if (mode_ == SimLoopMode::kLazy && completion_heap_dirty_) {
+      rebuild_completion_heap();
+    }
     const SimTime next_event = events_.next_time();
-    const SimTime next_done = earliest_completion();
-    SimTime next = std::min(next_event, next_done);
+    const SimTime next_done = mode_ == SimLoopMode::kLazy
+                                  ? earliest_completion_heap()
+                                  : earliest_completion_scan();
+    const SimTime next = std::min(next_event, next_done);
     if (next > deadline) {
-      // Drain progress up to the deadline so a later run() resumes exactly
-      // where this one stopped.
-      const Duration dt = deadline - now_;
-      if (dt > 0.0) {
-        for (FlowId id : active_flows_) {
-          Flow& f = flows_.at(id.value());
-          f.remaining -= f.rate * dt;
-        }
-      }
-      now_ = deadline;
+      // Materialize progress up to the deadline so a later run() resumes
+      // exactly where this one stopped.
+      if (deadline > now_) stamp_active_flows(deadline);
+      now_ = std::max(now_, deadline);
       return now_;
     }
     if (next == kTimeInfinity) return now_;  // quiescent
 
-    // 4. Advance: drain bytes at constant rates.
-    const Duration dt = next - now_;
-    if (dt > 0.0) {
-      for (FlowId id : active_flows_) {
-        Flow& f = flows_.at(id.value());
-        f.remaining -= f.rate * dt;
-      }
-      now_ = next;
-    } else {
-      now_ = next;  // same-instant event
-    }
+    // 4. Advance. No byte drain: accounting is lazy, `remaining` stays
+    // authoritative at the epoch and is materialized at the next stamp.
+    if (next > now_) now_ = next;
 
-    // 5. Retire completed flows (iterate by index: callbacks can add flows).
-    // A flow whose residual would drain within the simulator's time
-    // resolution counts as finished *now*: with extreme rates (profiling
-    // runs use ~1e30 B/s links) `now + remaining/rate` is not representable
-    // as a distinct double and the flow could otherwise never retire.
-    const double horizon = kTimeEpsilon * std::max(1.0, std::fabs(now_));
-    restore_active_order();  // retire in descending-id order, as the seed did
-    for (std::size_t i = active_flows_.size(); i-- > 0;) {
-      Flow& f = flows_.at(active_flows_[i].value());
-      if (f.remaining <= kBytesEpsilon ||
-          (f.rate > 0.0 && f.remaining <= f.rate * horizon)) {
-        finish_flow(f.id);
+    // 5. Retire flows whose completion instant has arrived (within the
+    // relative time resolution -- see retire_threshold). Completion
+    // callbacks fire in descending-FlowId order, as the seed's
+    // descending-index sweep did.
+    const SimTime threshold = retire_threshold(now_);
+    if (mode_ == SimLoopMode::kLazy) {
+      // Pop every due entry first (callbacks during finish_flow cannot
+      // retire other active flows, so the candidate set is stable), then
+      // finish in descending-id order.
+      retire_scratch_.clear();
+      while (!completion_heap_.empty()) {
+        const CompletionEntry e = completion_heap_.front();
+        const Flow& f = flows_.at(e.flow.value());
+        const bool valid =
+            f.active_index != Flow::kNotActive && f.completion_gen == e.gen;
+        if (valid && e.tc > threshold) break;
+        std::pop_heap(completion_heap_.begin(), completion_heap_.end(),
+                      LaterCompletion{});
+        completion_heap_.pop_back();
+        if (valid) retire_scratch_.push_back(e.flow);
+      }
+      std::sort(retire_scratch_.begin(), retire_scratch_.end(),
+                std::greater<FlowId>{});
+      for (FlowId id : retire_scratch_) {
+        assert(flows_.at(id.value()).active_index != Flow::kNotActive);
+        finish_flow(id);
+      }
+    } else {
+      restore_active_order();  // retire in descending-id order
+      for (std::size_t i = active_flows_.size(); i-- > 0;) {
+        Flow& f = flows_.at(active_flows_[i].value());
+        if (f.rate <= 0.0) continue;
+        if (completion_time(epoch_time_, f) <= threshold) finish_flow(f.id);
       }
     }
   }

@@ -7,14 +7,31 @@
 //
 // The control loop per instant:
 //   1. fire all due events (may submit flows / enqueue tasks),
-//   2. if the active flow set changed, let the NetworkScheduler assign
-//      weights and rate caps, then recompute rates with the RateAllocator,
-//   3. advance to min(next event, earliest flow completion), draining
-//      `rate * dt` bytes from each active flow,
-//   4. retire finished flows (callbacks may again mutate state).
+//   2. if the active flow set changed, materialize per-flow byte counts at
+//      the current instant (the "epoch stamp"), let the NetworkScheduler
+//      assign weights and rate caps, then recompute rates with the
+//      RateAllocator,
+//   3. advance to min(next event, earliest flow completion),
+//   4. retire flows whose completion time has arrived (callbacks may again
+//      mutate state).
+//
+// Hot-path layout (DESIGN.md "Event-loop fast path"): byte accounting is
+// *lazy*. `Flow::remaining` is authoritative only at the accounting epoch
+// `epoch_time_`; the up-to-date value is `remaining - rate * (t - epoch)`.
+// Rates change only at reallocation boundaries, so one O(active) stamp per
+// reallocate() replaces the seed's O(active) drain per event, and completion
+// instants come from a min-heap of precomputed completion times instead of a
+// linear scan. Per event the loop costs O(log n + retired flows).
+//
+// SimLoopMode::kEagerScan keeps the seed's O(active)-per-event linear scans
+// (on top of the same epoch-stamped accounting) as a reference
+// implementation: both modes evaluate identical floating-point expressions
+// on identical operands at every observation point, so results are
+// bit-identical -- the property the golden-equivalence suite asserts.
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -32,19 +49,26 @@
 
 namespace echelon::netsim {
 
+// Event-loop strategy. kLazy is the production O(log n)-per-event path;
+// kEagerScan is the O(active)-per-event reference used by the
+// golden-equivalence suite. Both produce bit-identical simulations.
+enum class SimLoopMode { kLazy, kEagerScan };
+
 class Simulator {
  public:
   using FlowCallback = std::function<void(Simulator&, const Flow&)>;
   using TaskCallback = std::function<void(Simulator&, const ComputeTask&)>;
   using TimerCallback = std::function<void(Simulator&)>;
 
-  explicit Simulator(const topology::Topology* topo);
+  explicit Simulator(const topology::Topology* topo,
+                     SimLoopMode mode = SimLoopMode::kLazy);
 
   // Non-copyable: owns callbacks holding references to itself.
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimLoopMode loop_mode() const noexcept { return mode_; }
   [[nodiscard]] const topology::Topology& topology() const noexcept {
     return *topo_;
   }
@@ -121,21 +145,59 @@ class Simulator {
   }
 
  private:
+  // Completion-time heap entry: the instant `flow` finishes at its current
+  // rate, computed at stamp time as `epoch + remaining / rate`. `gen` ties
+  // the entry to the rebuild epoch; a mismatch means the entry is stale.
+  struct CompletionEntry {
+    SimTime tc;
+    FlowId flow;
+    std::uint32_t gen;
+  };
+  // Comparator for std::*_heap (max-heap): "a completes later than b" puts
+  // the earliest completion (ties: lowest FlowId) at the front.
+  struct LaterCompletion {
+    [[nodiscard]] bool operator()(const CompletionEntry& a,
+                                  const CompletionEntry& b) const noexcept {
+      if (a.tc != b.tc) return a.tc > b.tc;
+      return a.flow > b.flow;
+    }
+  };
+
   void reallocate();
   void start_next_task(WorkerId worker);
   void finish_task(TaskId id);
   void finish_flow(FlowId id);
+  // Shared completion tail: marks the flow finished and fires the departure
+  // hooks in their canonical order (scheduler -> per-flow callback -> global
+  // listeners). Both the zero-byte instant-completion path and finish_flow
+  // funnel through here so the ordering is defined in exactly one place.
+  // `notify_scheduler` is false for zero-byte flows, which never arrived
+  // from the scheduler's point of view.
+  void complete_flow(FlowId id, bool notify_scheduler);
+  void fire_timer(std::uint32_t slot);
   // Re-establishes ascending-FlowId order of active_flows_ after swap-and-pop
   // retirements (callback and scheduler tie-break order depend on it).
   void restore_active_order();
-  [[nodiscard]] SimTime earliest_completion() const noexcept;
+  // Materializes every active flow's `remaining` at time `to` and moves the
+  // accounting epoch there. O(active); called once per reallocation boundary
+  // and per run() deadline, never per event.
+  void stamp_active_flows(SimTime to);
+  // Rebuilds the completion heap from the current epoch state (heapify,
+  // O(active)). Lazy mode only.
+  void rebuild_completion_heap();
+  [[nodiscard]] SimTime earliest_completion_scan() const noexcept;
+  [[nodiscard]] SimTime earliest_completion_heap();
 
   const topology::Topology* topo_;
   RateAllocator allocator_;
   FairSharingScheduler default_scheduler_;
   NetworkScheduler* scheduler_;
+  SimLoopMode mode_;
 
   SimTime now_ = 0.0;
+  // Accounting epoch: the instant at which every active flow's `remaining`
+  // is authoritative. Invariant: epoch_time_ <= now_.
+  SimTime epoch_time_ = 0.0;
   EventQueue events_;
 
   std::vector<Flow> flows_;             // indexed by FlowId; never shrinks
@@ -144,6 +206,21 @@ class Simulator {
   // Reused by reallocate() so steady-state control passes are allocation-free
   // (grows to the high-water mark of the active set, never shrinks).
   std::vector<Flow*> active_scratch_;
+
+  // Completion-time min-heap (lazy mode). Cleared and re-heapified once per
+  // accounting epoch; entries invalidated in between are discarded lazily
+  // via the generation stamp.
+  std::vector<CompletionEntry> completion_heap_;
+  bool completion_heap_dirty_ = true;
+  std::uint32_t heap_gen_ = 0;
+  // Scratch for the heap retirement pass (due flows, sorted descending id).
+  std::vector<FlowId> retire_scratch_;
+
+  // Timer callbacks live in a pooled side table so the EventQueue entry only
+  // captures {this, slot} -- small enough for std::function's small-object
+  // buffer, making steady-state schedule_at/fire allocation-free.
+  std::vector<TimerCallback> timer_pool_;
+  std::vector<std::uint32_t> timer_free_;
 
   std::vector<Worker> workers_;
   std::vector<ComputeTask> tasks_;

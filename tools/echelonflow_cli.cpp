@@ -17,7 +17,11 @@
 //   --jobs N (default 12)  --hosts N (default 16)  --seed S (default 42)
 //   --gbps G (default 25)  --iterations N (default 2)
 //   --scheduler <name>|all (default all)  --csv PATH (write results CSV)
+//   --threads N (default 0 = one per hardware thread; 1 = serial)
+//     scheduler comparisons run through cluster::run_sweep; output is
+//     identical for any thread count.
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -25,7 +29,7 @@
 #include <memory>
 #include <string>
 
-#include "cluster/experiment.hpp"
+#include "cluster/sweep.hpp"
 #include "cluster/trace.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -258,16 +262,28 @@ int cmd_cluster(const Args& args) {
     return 2;
   }
 
-  Table t({"scheduler", "mean iter (s)", "p99 iter (s)", "mean JCT (s)",
-           "sum tardiness (s)"});
-  Csv csv({"scheduler", "mean_iter_s", "p99_iter_s", "mean_jct_s",
-           "sum_tardiness_s", "makespan_s"});
+  // One sweep point per scheduler, run in parallel (deterministic: results
+  // come back in point order regardless of --threads).
+  std::vector<cluster::SweepPoint> points;
+  points.reserve(kinds.size());
   for (const auto kind : kinds) {
     cluster::ExperimentConfig cfg;
     cfg.scheduler = kind;
     cfg.hosts = args.geti("hosts", 16);
     cfg.port_capacity = gbps(args.getd("gbps", 25.0));
-    const auto r = cluster::run_experiment(jobs, cfg);
+    points.push_back({jobs, cfg});
+  }
+  cluster::SweepOptions opts;
+  opts.threads = static_cast<unsigned>(std::max(0, args.geti("threads", 0)));
+  const auto results = cluster::run_sweep(points, opts);
+
+  Table t({"scheduler", "mean iter (s)", "p99 iter (s)", "mean JCT (s)",
+           "sum tardiness (s)"});
+  Csv csv({"scheduler", "mean_iter_s", "p99_iter_s", "mean_jct_s",
+           "sum_tardiness_s", "makespan_s"});
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto kind = kinds[i];
+    const auto& r = results[i];
     const auto iters = r.iteration_samples();
     t.add_row({std::string(cluster::to_string(kind)),
                Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),
