@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "echelon/echelon_madd.hpp"
@@ -138,6 +139,13 @@ int main(int argc, char** argv) {
       machine_readable = true;
     }
   }
+  // Non-Release numbers must never be mistaken for baselines: warn on
+  // stderr and tag the (machine-readable) context so BENCH_hotpath.json
+  // regeneration scripts can reject them.
+  const bool not_release = echelon::benchutil::warn_if_not_release();
+  benchmark::AddCustomContext("echelon_build_type",
+                              echelon::benchutil::kBuildType);
+  if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (!machine_readable) coordination_mode_table();

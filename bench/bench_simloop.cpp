@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cluster/sweep.hpp"
 #include "cluster/trace.hpp"
 #include "netsim/simulator.hpp"
@@ -146,4 +147,14 @@ BENCHMARK(BM_SweepParallel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool not_release = echelon::benchutil::warn_if_not_release();
+  benchmark::AddCustomContext("echelon_build_type",
+                              echelon::benchutil::kBuildType);
+  if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

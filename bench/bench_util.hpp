@@ -3,9 +3,11 @@
 
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "echelon/coflow_madd.hpp"
@@ -15,7 +17,40 @@
 #include "topology/builders.hpp"
 #include "workload/paradigm.hpp"
 
+// CMake build type baked into every bench binary (see bench/CMakeLists.txt;
+// `$<CONFIG>` resolves to CMAKE_BUILD_TYPE for single-config generators).
+// The BENCH_hotpath.json baselines were once recorded from a Debug build --
+// google-benchmark's own `library_build_type` field only reflects how the
+// *library* was compiled, so nothing flagged it. Numbers from unoptimized
+// builds must never silently become baselines again: every bench warns
+// loudly and tags its JSON context when the build is not Release.
+#ifndef ECHELON_BUILD_TYPE
+#define ECHELON_BUILD_TYPE "unspecified"
+#endif
+
 namespace echelon::benchutil {
+
+inline constexpr const char* kBuildType = ECHELON_BUILD_TYPE;
+
+// True only for fully optimized build types suitable for recording
+// baselines (Release / RelWithDebInfo / MinSizeRel; RelWithDebInfo is -O2
+// but we keep baselines comparable by recording them from Release only).
+[[nodiscard]] inline bool release_build() noexcept {
+  return std::string_view(kBuildType) == "Release";
+}
+
+// Loud stderr banner when the binary was not built for measurement. Returns
+// true when a warning was emitted so google-benchmark mains can also tag
+// their JSON context (benchmark::AddCustomContext).
+inline bool warn_if_not_release() {
+  if (release_build()) return false;
+  std::fprintf(stderr,
+               "*** WARNING: benchmark built with CMAKE_BUILD_TYPE=%s, not "
+               "Release.\n*** Timings are NOT comparable to "
+               "BENCH_hotpath.json baselines; do not record them.\n",
+               kBuildType);
+  return true;
+}
 
 struct SingleJobResult {
   std::vector<SimTime> iteration_finish;

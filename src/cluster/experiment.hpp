@@ -64,6 +64,12 @@ struct ExperimentConfig {
   // kEagerScan is the O(active)-per-event reference the golden-equivalence
   // suite compares against (results are bit-identical by construction).
   netsim::SimLoopMode loop_mode = netsim::SimLoopMode::kLazy;
+
+  // Reallocation strategy. kIncremental is the production fast path
+  // (per-component water-fill with a converged-rate cache); kFullRecompute
+  // water-fills every component on every pass and is the reference mode of
+  // tests/test_alloc_equivalence.cpp (results are bit-identical).
+  netsim::AllocMode alloc_mode = netsim::AllocMode::kIncremental;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,

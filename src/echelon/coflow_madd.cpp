@@ -65,8 +65,8 @@ void CoflowMaddScheduler::control(netsim::Simulator& sim,
   std::size_t routed = 0;
   for (netsim::Flow* f : active) {
     if (f->path.empty()) {  // loopback: never network-limited
-      f->weight = 1.0;
-      f->rate_cap.reset();
+      f->set_weight(1.0);
+      f->clear_rate_cap();
       continue;
     }
     ++routed;
@@ -126,8 +126,8 @@ void CoflowMaddScheduler::control(netsim::Simulator& sim,
       double rate = std::isinf(gamma) || gamma <= 0.0 ? 0.0
                                                       : f->remaining / gamma;
       rate = std::min(rate, caps_.path_residual(*f));  // numerical safety
-      f->weight = 1.0;
-      f->rate_cap = rate;
+      f->set_weight(1.0);
+      f->set_rate_cap(rate);
       caps_.consume(*f, rate);
     }
   }
@@ -157,7 +157,7 @@ void CoflowMaddScheduler::control(netsim::Simulator& sim,
         netsim::Flow* f = members_[i];
         const double extra = f->remaining * lambda;
         if (extra <= 0.0) continue;
-        f->rate_cap = *f->rate_cap + extra;
+        f->set_rate_cap(*f->rate_cap + extra);
         caps_.consume(*f, extra);
       }
     }
@@ -167,7 +167,7 @@ void CoflowMaddScheduler::control(netsim::Simulator& sim,
         netsim::Flow* f = members_[i];
         const double extra = caps_.path_residual(*f);
         if (extra <= 0.0 || !std::isfinite(extra)) continue;
-        f->rate_cap = *f->rate_cap + extra;
+        f->set_rate_cap(*f->rate_cap + extra);
         caps_.consume(*f, extra);
       }
     }

@@ -169,8 +169,8 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
   std::size_t routed = 0;
   for (netsim::Flow* f : active) {
     if (f->path.empty()) {
-      f->weight = 1.0;
-      f->rate_cap.reset();
+      f->set_weight(1.0);
+      f->clear_rate_cap();
       continue;
     }
     ++routed;
@@ -263,8 +263,8 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
           rate = horizon > 0.0 ? f->remaining / horizon : kInf;
         }
         rate = std::min(rate, caps_.path_residual(*f));
-        f->weight = 1.0;
-        f->rate_cap = rate;
+        f->set_weight(1.0);
+        f->set_rate_cap(rate);
         caps_.consume(*f, rate);
       }
 
@@ -288,7 +288,7 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
             netsim::Flow* f = g.members[k].flow;
             const double extra = f->remaining * lambda;
             if (extra <= 0.0) continue;
-            f->rate_cap = *f->rate_cap + extra;
+            f->set_rate_cap(*f->rate_cap + extra);
             caps_.consume(*f, extra);
           }
         }
@@ -306,7 +306,7 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
       for (CachedMember& m : slots_[si].members) {
         const double extra = caps_.path_residual(*m.flow);
         if (extra <= 0.0 || !std::isfinite(extra)) continue;
-        m.flow->rate_cap = *m.flow->rate_cap + extra;
+        m.flow->set_rate_cap(*m.flow->rate_cap + extra);
         caps_.consume(*m.flow, extra);
       }
     }

@@ -7,13 +7,36 @@
 
 namespace echelon::netsim {
 
+std::uint32_t RateAllocator::uf_find(std::uint32_t slot) noexcept {
+  // Path halving: each step links a node to its grandparent, flattening the
+  // tree as a side effect of the lookup.
+  while (uf_parent_[slot] != slot) {
+    uf_parent_[slot] = uf_parent_[uf_parent_[slot]];
+    slot = uf_parent_[slot];
+  }
+  return slot;
+}
+
 void RateAllocator::allocate(std::span<Flow*> flows) {
+  ++pass_;
+  ++stats_.passes;
+
   // Per-round link state, stamped only for links that carry at least one
   // flow (lazy epoch reset; no per-pass map rebuild).
   links_.begin_pass(*topo_);
-  unfrozen_.clear();
+  af_.clear();
   path_flat_.clear();
+  uf_parent_.clear();
+  prev_rate_.clear();
+  rate_changed_.clear();
 
+  // Snapshot incoming rates so the pass can report exactly which flows the
+  // reallocation actually changed (the Simulator's heap-patch dirty set).
+  for (const Flow* f : flows) prev_rate_.push_back(f->rate);
+
+  // --- Phase A: scan. Classify trivial flows, build the contended flow
+  // list, accumulate per-link loads, and thread the union-find through the
+  // per-link owner slots. ---
   for (Flow* f : flows) {
     if (f->finished()) {
       f->rate = 0.0;
@@ -29,32 +52,95 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
                             : std::numeric_limits<double>::infinity();
       continue;
     }
+    const auto slot = static_cast<std::uint32_t>(af_.size());
+    // Clamp degenerate weights: a zero/negative weight used to divide by
+    // zero in the water level (and trip the unfrozen_weight assert).
+    const double w = f->weight > kMinFlowWeight ? f->weight : kMinFlowWeight;
     const auto begin = static_cast<std::uint32_t>(path_flat_.size());
+    uf_parent_.push_back(slot);
     for (LinkId lid : f->path) {
       path_flat_.push_back(static_cast<std::uint32_t>(lid.value()));
-      LinkLoad& ll = links_.touch(lid, LinkLoad{topo_->link(lid).capacity, 0.0});
-      ll.unfrozen_weight += f->weight;
+      LinkLoad& ll = links_.touch(
+          lid, LinkLoad{topo_->link(lid).capacity, 0.0, slot});
+      ll.unfrozen_weight += w;
+      if (ll.owner_slot != slot) {
+        // Shared link: this flow contends with the link's first owner.
+        const std::uint32_t ra = uf_find(ll.owner_slot);
+        const std::uint32_t rb = uf_find(slot);
+        if (ra != rb) uf_parent_[rb] = ra;
+      }
     }
-    unfrozen_.push_back(
-        ActiveFlow{f, begin, static_cast<std::uint32_t>(path_flat_.size())});
+    af_.push_back(ActiveFlow{
+        f, begin, static_cast<std::uint32_t>(path_flat_.size()), w});
   }
 
+  // --- Phase B: label components in first-member order and bucket member
+  // slots with a counting sort (preserves ascending span order within each
+  // component -- the order the fill and the cache validation both rely on).
+  const std::uint32_t n = static_cast<std::uint32_t>(af_.size());
+  comp_of_root_.assign(n, kInvalidIndex);
+  comp_of_.resize(n);
+  std::uint32_t comps = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t r = uf_find(s);
+    if (comp_of_root_[r] == kInvalidIndex) comp_of_root_[r] = comps++;
+    comp_of_[s] = comp_of_root_[r];
+  }
+  comp_start_.assign(comps + 1, 0);
+  for (std::uint32_t s = 0; s < n; ++s) ++comp_start_[comp_of_[s] + 1];
+  for (std::uint32_t c = 0; c < comps; ++c) comp_start_[c + 1] += comp_start_[c];
+  comp_cursor_.assign(comp_start_.begin(), comp_start_.end());
+  comp_members_.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    comp_members_[comp_cursor_[comp_of_[s]]++] = s;
+  }
+
+  // --- Phase C: per component, reuse the cached converged rates when the
+  // inputs are provably unchanged, otherwise water-fill (and re-cache). ---
+  stats_.components += comps;
+  for (std::uint32_t c = 0; c < comps; ++c) {
+    const std::uint32_t* members = comp_members_.data() + comp_start_[c];
+    const std::size_t count = comp_start_[c + 1] - comp_start_[c];
+    if (mode_ == AllocMode::kIncremental && try_reuse(members, count)) {
+      ++stats_.components_reused;
+      continue;
+    }
+    water_fill(members, count);
+    ++stats_.components_filled;
+    if (mode_ == AllocMode::kIncremental) store_component(members, count);
+  }
+  if (mode_ == AllocMode::kIncremental) maybe_sweep_records(comps);
+
+  // --- Dirty-set handoff + notification consumption. ---
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    Flow* f = flows[i];
+    f->control_dirty = false;
+    if (f->rate != prev_rate_[i]) rate_changed_.push_back(f);
+  }
+}
+
+void RateAllocator::water_fill(const std::uint32_t* members,
+                               std::size_t count) {
   // Progressive filling: repeatedly raise the "water level" (rate per unit
   // weight) until a link saturates or a flow reaches its cap; freeze and
   // repeat. Each round freezes at least one flow or saturates at least one
-  // link, so the loop terminates in O(flows + links) rounds.
+  // link, so the loop terminates in O(flows + links) rounds. Components are
+  // link-disjoint by construction, so the shared per-link scratch state is
+  // touched by exactly one component's fill.
+  unfrozen_.assign(members, members + count);
   while (!unfrozen_.empty()) {
     // Max additional level permitted by each constraining link.
     double delta = std::numeric_limits<double>::infinity();
-    for (const ActiveFlow& a : unfrozen_) {
+    for (const std::uint32_t s : unfrozen_) {
+      const ActiveFlow& a = af_[s];
       for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
         const LinkLoad& ll = links_.at(LinkId{path_flat_[p]});
         assert(ll.unfrozen_weight > 0.0);
         delta = std::min(delta, ll.remaining_capacity / ll.unfrozen_weight);
       }
       if (a.flow->rate_cap) {
-        delta = std::min(delta, (*a.flow->rate_cap - a.flow->rate) /
-                                    a.flow->weight);
+        delta =
+            std::min(delta, (*a.flow->rate_cap - a.flow->rate) / a.weight);
       }
     }
     if (!std::isfinite(delta)) break;  // defensive: no constraint found
@@ -62,8 +148,9 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
 
     // Apply the level increase and freeze exhausted flows.
     next_.clear();
-    for (const ActiveFlow& a : unfrozen_) {
-      const double inc = a.flow->weight * delta;
+    for (const std::uint32_t s : unfrozen_) {
+      const ActiveFlow& a = af_[s];
+      const double inc = a.weight * delta;
       a.flow->rate += inc;
       for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
         links_.at(LinkId{path_flat_[p]}).remaining_capacity -= inc;
@@ -72,7 +159,8 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
     // Freezing pass (separate from the increment so all link updates land
     // before saturation checks).
     constexpr double kEps = 1e-12;
-    for (const ActiveFlow& a : unfrozen_) {
+    for (const std::uint32_t s : unfrozen_) {
+      const ActiveFlow& a = af_[s];
       Flow* f = a.flow;
       bool frozen = false;
       if (f->rate_cap && f->rate >= *f->rate_cap - kEps) {
@@ -88,14 +176,126 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
       }
       if (frozen) {
         for (std::uint32_t p = a.path_begin; p < a.path_end; ++p) {
-          links_.at(LinkId{path_flat_[p]}).unfrozen_weight -= f->weight;
+          links_.at(LinkId{path_flat_[p]}).unfrozen_weight -= a.weight;
         }
       } else {
-        next_.push_back(a);
+        next_.push_back(s);
       }
     }
     if (next_.size() == unfrozen_.size()) break;  // defensive: no progress
     unfrozen_.swap(next_);
+  }
+}
+
+bool RateAllocator::try_reuse(const std::uint32_t* members,
+                              std::size_t count) {
+  reuse_candidate_ = kInvalidIndex;
+  // Resolve the candidate record through the first member's back-pointer.
+  const std::uint64_t id0 = af_[members[0]].flow->id.value();
+  if (id0 >= flow_rec_.size()) return false;
+  const std::uint32_t rec_idx = flow_rec_[id0];
+  if (rec_idx == kInvalidIndex) return false;
+  CompRecord& rec = records_[rec_idx];
+  if (rec.in_free_list || flow_rec_gen_[id0] != rec.gen) return false;
+  if (rec.members.size() != count) return false;
+  // Membership walk first: positional member identity. A record whose
+  // member list still matches is an in-place refresh candidate even when
+  // the value validation below fails -- steady control-plane churn rewrites
+  // weights/caps of a stable component, and refreshing the existing slot
+  // skips the back-pointer rewrite and the slab turnover entirely.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rec.members[i].id != af_[members[i]].flow->id.value()) return false;
+  }
+  reuse_candidate_ = rec_idx;
+  if (rec.capacity_epoch != topo_->capacity_epoch()) return false;
+  // Exact validation: bit-for-bit weight/cap values. Flow ids are never
+  // reused and paths are immutable per id, so id equality implies path
+  // equality; link capacities come from the topology and are pinned by the
+  // capacity epoch above. Matching inputs therefore imply the cached rates
+  // equal what water_fill would recompute, bit for bit. The control_dirty
+  // check is a cheap setter-notification short-circuit; the value compare
+  // is authoritative, so direct field writes are still detected.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Flow* f = af_[members[i]].flow;
+    const MemberSnap& m = rec.members[i];
+    if (f->control_dirty) return false;
+    if (m.weight != f->weight) return false;
+    const bool has_cap = f->rate_cap.has_value();
+    if (m.has_cap != has_cap) return false;
+    if (has_cap && m.cap != *f->rate_cap) return false;
+  }
+  rec.last_used_pass = pass_;
+  for (std::size_t i = 0; i < count; ++i) {
+    af_[members[i]].flow->rate = rec.members[i].rate;
+  }
+  return true;
+}
+
+void RateAllocator::store_component(const std::uint32_t* members,
+                                    std::size_t count) {
+  if (reuse_candidate_ != kInvalidIndex) {
+    // Same membership, new values: refresh the record in place. The slot,
+    // its generation and every flow back-pointer stay valid.
+    CompRecord& rec = records_[reuse_candidate_];
+    rec.last_used_pass = pass_;
+    rec.capacity_epoch = topo_->capacity_epoch();
+    for (std::size_t i = 0; i < count; ++i) {
+      const Flow* f = af_[members[i]].flow;
+      MemberSnap& m = rec.members[i];
+      m.weight = f->weight;
+      m.has_cap = f->rate_cap.has_value();
+      m.cap = f->rate_cap ? *f->rate_cap : 0.0;
+      m.rate = f->rate;
+    }
+    return;
+  }
+  std::uint32_t idx;
+  if (!record_free_.empty()) {
+    idx = record_free_.back();
+    record_free_.pop_back();
+    records_[idx].in_free_list = false;
+  } else {
+    idx = static_cast<std::uint32_t>(records_.size());
+    records_.emplace_back();
+    // Keep the free list's capacity at least the slab size so the sweep
+    // below never allocates.
+    record_free_.reserve(records_.capacity());
+  }
+  CompRecord& rec = records_[idx];
+  ++rec.gen;  // invalidates any stale references to a recycled slot
+  rec.last_used_pass = pass_;
+  rec.capacity_epoch = topo_->capacity_epoch();
+  rec.members.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Flow* f = af_[members[i]].flow;
+    const std::uint64_t id = f->id.value();
+    MemberSnap& m = rec.members[i];
+    m.id = id;
+    m.weight = f->weight;
+    m.has_cap = f->rate_cap.has_value();
+    m.cap = f->rate_cap ? *f->rate_cap : 0.0;
+    m.rate = f->rate;
+    if (id >= flow_rec_.size()) {
+      flow_rec_.resize(id + 1, kInvalidIndex);
+      flow_rec_gen_.resize(id + 1, 0);
+    }
+    flow_rec_[id] = idx;
+    flow_rec_gen_[id] = rec.gen;
+  }
+}
+
+void RateAllocator::maybe_sweep_records(std::size_t live_components) {
+  const std::size_t allocated = records_.size() - record_free_.size();
+  if (allocated <= 2 * live_components + 64) return;
+  // Mark-and-sweep: every live component touched its record this pass
+  // (reuse or store), so anything with an older stamp is unreachable --
+  // either superseded by a refill or orphaned by departed flows.
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    CompRecord& rec = records_[i];
+    if (rec.in_free_list || rec.last_used_pass == pass_) continue;
+    ++rec.gen;  // O(1) invalidation of all phantom flow references
+    rec.in_free_list = true;
+    record_free_.push_back(i);  // no alloc: capacity >= records_.capacity()
   }
 }
 

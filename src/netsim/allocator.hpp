@@ -1,4 +1,5 @@
-// Demand-limited weighted max-min rate allocation (progressive filling).
+// Demand-limited weighted max-min rate allocation (progressive filling),
+// decomposed by link-contention component.
 //
 // Given the set of active flows (each with a path, a weight, and an optional
 // rate cap) and per-link capacities, computes each flow's transmission rate:
@@ -11,14 +12,40 @@
 // control (MADD-style deliberate slowdown) while the default -- every cap
 // unset, every weight 1 -- degenerates to TCP-like per-flow max-min fairness.
 //
+// Component decomposition (DESIGN.md "Incremental max-min allocation"):
+// max-min fairness is local to the contention graph -- two flows that share
+// no links cannot influence each other's rates. Every pass therefore
+// partitions the contended flows into link-contention components (an
+// epoch-stamped union-find threaded through the dense per-link scratch) and
+// water-fills each component independently. This is the *canonical*
+// algorithm for both modes:
+//
+//   * AllocMode::kFullRecompute -- water-fill every component, every pass.
+//   * AllocMode::kIncremental   -- additionally cache each component's
+//     converged rates in a slot+generation record store. A component whose
+//     exact inputs (member ids in order, weights, caps) match its cached
+//     record is *clean*: its rates are restored from the cache without
+//     touching the water-fill. Because the fill is a deterministic function
+//     of exactly the validated inputs, cached and recomputed rates are
+//     bit-identical -- the property tests/test_alloc_equivalence.cpp pins.
+//
+// Change detection is belt and braces: schedulers that mutate weights/caps
+// through Flow::set_weight / set_rate_cap / clear_rate_cap mark the flow
+// control-dirty (a cheap short-circuit to "refill"), but validation also
+// compares the recorded weight/cap *values* member by member, so direct
+// field writes that bypass the setters are still detected. Arrivals miss the
+// cache (no record yet); departures change the member list and miss too.
+//
 // Hot-path data layout: the allocator runs after every scheduler control()
 // pass, so its per-round state is arena-backed (see DESIGN.md). Per-link
-// load lives in an epoch-stamped dense array indexed by LinkId; the unfrozen
-// / next working sets are reusable member buffers; and each flow's link
-// indices are flattened once per pass into a contiguous u32 arena so the
-// water-filling inner loops walk a flat array instead of re-resolving
-// LinkIds through a hash map. Steady-state allocate() calls perform no heap
-// allocations after warm-up.
+// load lives in an epoch-stamped dense array indexed by LinkId; the
+// union-find, component buckets and unfrozen / next working sets are
+// reusable member buffers; and each flow's link indices are flattened once
+// per pass into a contiguous u32 arena so the water-filling inner loops walk
+// a flat array instead of re-resolving LinkIds through a hash map.
+// Steady-state allocate() calls perform no heap allocations after warm-up --
+// in incremental mode this includes passes that hit or refill the cache with
+// a stable component structure.
 
 #pragma once
 
@@ -32,34 +59,148 @@
 
 namespace echelon::netsim {
 
+// Reallocation strategy. Both modes run the identical per-component
+// progressive filling and produce bit-identical rates; kIncremental skips
+// the fill for components whose inputs are unchanged since their last fill.
+enum class AllocMode { kFullRecompute, kIncremental };
+
+// Weights at or below this epsilon are clamped up to it inside the
+// allocator. A zero or negative weight would otherwise divide-by-zero in
+// the water level computation (and previously tripped an assert in Debug
+// builds); clamping gives such flows an arbitrarily small -- but positive --
+// share instead. Weights above the epsilon are used bit-exactly as given.
+inline constexpr double kMinFlowWeight = 1e-12;
+
 class RateAllocator {
  public:
-  explicit RateAllocator(const topology::Topology* topo) : topo_(topo) {}
+  // Raw allocator defaults to full recompute: standalone users (benchmarks,
+  // property tests) typically re-run allocate() on an unchanged population,
+  // which the cache would trivially short-circuit. The Simulator -- whose
+  // passes see genuine arrival/departure/cap churn -- constructs its
+  // allocator in kIncremental mode by default.
+  explicit RateAllocator(const topology::Topology* topo,
+                         AllocMode mode = AllocMode::kFullRecompute)
+      : topo_(topo), mode_(mode) {}
 
   // Overwrites `rate` on every flow in `flows`. Finished flows get rate 0.
-  // Non-const: reuses the allocator's internal arenas across calls.
+  // Non-const: reuses the allocator's internal arenas across calls. Also
+  // consumes (clears) every flow's `control_dirty` notification flag.
   void allocate(std::span<Flow*> flows);
+
+  [[nodiscard]] AllocMode mode() const noexcept { return mode_; }
+
+  // Flows whose `rate` differs from the value they carried into the last
+  // allocate() pass, in span order. This is the dirty set the Simulator
+  // uses to patch (rather than rebuild) its completion-time heap when the
+  // accounting epoch did not move. Valid until the next allocate() call.
+  [[nodiscard]] std::span<Flow* const> rate_changed() const noexcept {
+    return rate_changed_;
+  }
+
+  // Telemetry: cumulative component-cache behavior (kIncremental only fills
+  // components_filled < components; kFullRecompute fills all of them).
+  struct Stats {
+    std::uint64_t passes = 0;
+    std::uint64_t components = 0;         // components seen, cumulative
+    std::uint64_t components_reused = 0;  // cache hits (rates restored)
+    std::uint64_t components_filled = 0;  // water-filled (miss or full mode)
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   struct LinkLoad {
     double remaining_capacity = 0.0;
     double unfrozen_weight = 0.0;  // sum of weights of unfrozen flows here
+    // First active-flow slot that touched this link in the current pass;
+    // later touches union their slot with it, threading the union-find
+    // through the dense link scratch without a per-pass edge list.
+    std::uint32_t owner_slot = 0;
   };
   // A contending flow plus the [begin, end) range of its cached link indices
-  // in path_flat_.
+  // in path_flat_ and its clamped effective weight (== Flow::weight for all
+  // weights above kMinFlowWeight).
   struct ActiveFlow {
     Flow* flow = nullptr;
     std::uint32_t path_begin = 0;
     std::uint32_t path_end = 0;
+    double weight = 1.0;
+  };
+  // Snapshot of one member's allocation inputs plus its converged rate --
+  // one contiguous array per record keeps the validation walk and the
+  // in-place refresh on a single cache stream.
+  struct MemberSnap {
+    std::uint64_t id = 0;       // members appear in ascending span order
+    double weight = 0.0;        // raw Flow::weight snapshot
+    double cap = 0.0;           // valid when has_cap
+    double rate = 0.0;          // converged rate
+    bool has_cap = false;
+  };
+  // Cached converged state of one contention component. Referenced from
+  // flow_rec_ by (index, generation); bumping `gen` invalidates every
+  // outstanding reference in O(1) when the record is recycled. A record
+  // whose *membership* still matches is refreshed in place on refill (same
+  // slot, same gen, back-pointers untouched) -- the steady churn path.
+  struct CompRecord {
+    std::uint32_t gen = 0;
+    bool in_free_list = false;
+    std::uint64_t last_used_pass = 0;
+    // Topology::capacity_epoch() at fill time: runtime link-capacity
+    // changes (failures / degradation / recovery) conservatively invalidate
+    // every cached record.
+    std::uint64_t capacity_epoch = 0;
+    std::vector<MemberSnap> members;
   };
 
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t uf_find(std::uint32_t slot) noexcept;
+  // Progressive filling restricted to one component (member slots into af_).
+  void water_fill(const std::uint32_t* members, std::size_t count);
+  // Exact cache validation; on hit restores the cached rates and returns
+  // true. Collision-proof: compares member ids positionally plus the
+  // recorded weight/cap values bit-for-bit.
+  [[nodiscard]] bool try_reuse(const std::uint32_t* members,
+                               std::size_t count);
+  void store_component(const std::uint32_t* members, std::size_t count);
+  // Reclaims records unreferenced by any live component once the slab has
+  // grown past 2x the live component count (departed flows leave phantom
+  // references behind; the sweep bounds the slab instead of refcounting).
+  void maybe_sweep_records(std::size_t live_components);
+
   const topology::Topology* topo_;
+  AllocMode mode_;
+  Stats stats_;
+  std::uint64_t pass_ = 0;
 
   // --- reusable arenas (allocation-free after warm-up) ---
   topology::LinkScratch<LinkLoad> links_;
-  std::vector<ActiveFlow> unfrozen_;
-  std::vector<ActiveFlow> next_;
+  std::vector<ActiveFlow> af_;            // contended flows, span order
   std::vector<std::uint32_t> path_flat_;  // cached dense link indices
+  std::vector<std::uint32_t> uf_parent_;  // union-find over af_ slots
+  std::vector<std::uint32_t> comp_of_root_;
+  std::vector<std::uint32_t> comp_of_;
+  std::vector<std::uint32_t> comp_start_;   // comps+1 prefix offsets
+  std::vector<std::uint32_t> comp_cursor_;
+  std::vector<std::uint32_t> comp_members_; // bucketed slots, span order
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<std::uint32_t> next_;
+  std::vector<double> prev_rate_;           // span-parallel rate snapshot
+  std::vector<Flow*> rate_changed_;
+
+  // --- component record cache (kIncremental) ---
+  std::vector<CompRecord> records_;
+  std::vector<std::uint32_t> record_free_;
+  // Set by try_reuse when a record's member list matched positionally but
+  // its values (weights / caps / capacity epoch) did not: store_component
+  // refreshes that record in place instead of allocating a fresh slot.
+  // Valid only between a try_reuse miss and the store_component that
+  // immediately follows it.
+  std::uint32_t reuse_candidate_ = kInvalidIndex;
+  // Per flow id: record index + generation snapshot ("which record did this
+  // flow's component last converge in"). Grows with the simulation's total
+  // flow count, like the Simulator's own flow table.
+  std::vector<std::uint32_t> flow_rec_;
+  std::vector<std::uint32_t> flow_rec_gen_;
 };
 
 }  // namespace echelon::netsim

@@ -48,7 +48,9 @@ struct Flow {
   // Simulator bookkeeping: generation stamp tying this flow to its entry in
   // the completion-time heap (DESIGN.md "Event-loop fast path"). An entry
   // whose generation no longer matches is stale and is discarded lazily.
-  std::uint32_t completion_gen = 0;
+  // 64-bit: the incremental heap patch bumps the generation per rate-changed
+  // flow (not per rebuild), so the counter must never wrap.
+  std::uint64_t completion_gen = 0;
 
   FlowState state = FlowState::kActive;
   // Bytes left to transmit *as of the simulator's accounting epoch* (the
@@ -67,6 +69,34 @@ struct Flow {
   // Explicit rate demand set by a scheduler. The allocator never exceeds it.
   // nullopt = uncapped (pure max-min share).
   std::optional<BytesPerSec> rate_cap;
+  // Cap/weight-change notification consumed by the RateAllocator: true when
+  // a scheduler changed this flow's control inputs since the last
+  // reallocation. Set by the compare-and-set mutators below; direct writes
+  // to `weight` / `rate_cap` remain legal (the incremental allocator also
+  // validates the recorded *values*), but forgo the cheap short-circuit.
+  bool control_dirty = false;
+
+  // Compare-and-set control mutators: no-ops (and no dirty mark) when the
+  // new value equals the current one, so steady-state schedulers that
+  // re-emit identical decisions keep clean components clean.
+  void set_weight(double w) noexcept {
+    if (w != weight) {
+      weight = w;
+      control_dirty = true;
+    }
+  }
+  void set_rate_cap(BytesPerSec cap) noexcept {
+    if (!rate_cap || *rate_cap != cap) {
+      rate_cap = cap;
+      control_dirty = true;
+    }
+  }
+  void clear_rate_cap() noexcept {
+    if (rate_cap) {
+      rate_cap.reset();
+      control_dirty = true;
+    }
+  }
 
   // --- data plane (recomputed by the allocator) ---
   BytesPerSec rate = 0.0;

@@ -48,8 +48,8 @@ class FairSharingScheduler final : public NetworkScheduler {
  public:
   void control(Simulator&, std::span<Flow*> active) override {
     for (Flow* f : active) {
-      f->weight = 1.0;
-      f->rate_cap.reset();
+      f->set_weight(1.0);
+      f->clear_rate_cap();
     }
   }
   [[nodiscard]] std::string name() const override { return "fair"; }

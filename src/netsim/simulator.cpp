@@ -41,9 +41,10 @@ namespace {
 
 }  // namespace
 
-Simulator::Simulator(const topology::Topology* topo, SimLoopMode mode)
+Simulator::Simulator(const topology::Topology* topo, SimLoopMode mode,
+                     AllocMode alloc_mode)
     : topo_(topo),
-      allocator_(topo),
+      allocator_(topo, alloc_mode),
       scheduler_(&default_scheduler_),
       mode_(mode) {
   assert(topo != nullptr);
@@ -203,6 +204,26 @@ void Simulator::reallocate() {
   ++control_invocations_;
   allocator_.allocate(active_scratch_);
   allocation_dirty_ = false;
+  // Same-instant reallocation (epoch unmoved): every unchanged flow's heap
+  // entry is bitwise still valid, so re-stamp only the allocator's dirty
+  // set instead of rebuilding O(active). When the epoch moved, the stamp
+  // already marked the heap dirty and the full rebuild runs in step 3.
+  if (mode_ == SimLoopMode::kLazy && !completion_heap_dirty_) {
+    patch_completion_heap();
+  }
+}
+
+void Simulator::patch_completion_heap() {
+  for (Flow* f : allocator_.rate_changed()) {
+    // Per-flow generation bump: invalidates exactly this flow's previous
+    // entry; other flows' entries keep matching their own stamps.
+    f->completion_gen = ++heap_gen_;
+    if (f->active_index == Flow::kNotActive || f->rate <= 0.0) continue;
+    completion_heap_.push_back(
+        CompletionEntry{completion_time(epoch_time_, *f), f->id, heap_gen_});
+    std::push_heap(completion_heap_.begin(), completion_heap_.end(),
+                   LaterCompletion{});
+  }
 }
 
 void Simulator::restore_active_order() {
@@ -233,12 +254,15 @@ void Simulator::stamp_active_flows(SimTime to) {
       assert(f.remaining >= -(kBytesEpsilon + 1e-9 * f.spec.size) &&
              "lazy byte accounting drifted below zero");
     }
+    // Completion times are a function of (epoch, remaining, rate): moving
+    // the epoch re-derives them all (same values mathematically, different
+    // floating-point operands), so the heap must be rebuilt before next
+    // use. A zero-dt stamp leaves every operand bitwise unchanged, so
+    // existing entries stay valid and reallocate() patches in only the
+    // flows whose rate actually changed.
+    completion_heap_dirty_ = true;
   }
   epoch_time_ = to;
-  // Completion times are a function of (epoch, remaining, rate): moving the
-  // epoch re-derives them all (same values mathematically, different
-  // floating-point operands), so the heap must be rebuilt before next use.
-  completion_heap_dirty_ = true;
 }
 
 void Simulator::rebuild_completion_heap() {

@@ -60,8 +60,14 @@ class Simulator {
   using TaskCallback = std::function<void(Simulator&, const ComputeTask&)>;
   using TimerCallback = std::function<void(Simulator&)>;
 
+  // The simulator's allocator defaults to incremental reallocation
+  // (AllocMode::kIncremental): its passes see genuine arrival / departure /
+  // cap churn, which is exactly what the component cache exploits.
+  // kFullRecompute is retained as the reference mode for the
+  // golden-equivalence suite (tests/test_alloc_equivalence.cpp).
   explicit Simulator(const topology::Topology* topo,
-                     SimLoopMode mode = SimLoopMode::kLazy);
+                     SimLoopMode mode = SimLoopMode::kLazy,
+                     AllocMode alloc_mode = AllocMode::kIncremental);
 
   // Non-copyable: owns callbacks holding references to itself.
   Simulator(const Simulator&) = delete;
@@ -69,6 +75,13 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] SimLoopMode loop_mode() const noexcept { return mode_; }
+  [[nodiscard]] AllocMode alloc_mode() const noexcept {
+    return allocator_.mode();
+  }
+  // Component-cache telemetry of the underlying allocator.
+  [[nodiscard]] const RateAllocator::Stats& alloc_stats() const noexcept {
+    return allocator_.stats();
+  }
   [[nodiscard]] const topology::Topology& topology() const noexcept {
     return *topo_;
   }
@@ -151,7 +164,7 @@ class Simulator {
   struct CompletionEntry {
     SimTime tc;
     FlowId flow;
-    std::uint32_t gen;
+    std::uint64_t gen;
   };
   // Comparator for std::*_heap (max-heap): "a completes later than b" puts
   // the earliest completion (ties: lowest FlowId) at the front.
@@ -185,6 +198,12 @@ class Simulator {
   // Rebuilds the completion heap from the current epoch state (heapify,
   // O(active)). Lazy mode only.
   void rebuild_completion_heap();
+  // Incremental heap maintenance for same-instant reallocations: when the
+  // accounting epoch did not move, every unchanged flow's heap entry is
+  // bitwise still valid, so only the allocator's rate-changed dirty set
+  // needs re-stamping (O(changed * log n) instead of O(active)). Lazy mode
+  // only; called right after a reallocation that kept the epoch in place.
+  void patch_completion_heap();
   [[nodiscard]] SimTime earliest_completion_scan() const noexcept;
   [[nodiscard]] SimTime earliest_completion_heap();
 
@@ -212,7 +231,7 @@ class Simulator {
   // via the generation stamp.
   std::vector<CompletionEntry> completion_heap_;
   bool completion_heap_dirty_ = true;
-  std::uint32_t heap_gen_ = 0;
+  std::uint64_t heap_gen_ = 0;
   // Scratch for the heap retirement pass (due flows, sorted descending id).
   std::vector<FlowId> retire_scratch_;
 

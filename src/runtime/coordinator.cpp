@@ -72,12 +72,12 @@ void Coordinator::control(netsim::Simulator& sim,
     if (config_.iterative_reuse && f->spec.signature != 0) {
       if (const auto it = decision_cache_.find(f->spec.signature);
           it != decision_cache_.end()) {
-        f->rate_cap = it->second;
+        f->set_rate_cap(it->second);
         ++reuse_hits_;
         continue;
       }
     }
-    f->rate_cap = 0.0;
+    f->set_rate_cap(0.0);
     ++deferred_flows_;
   }
   if (!active.empty()) arm_timer(sim);

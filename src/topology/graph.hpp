@@ -31,9 +31,20 @@ class Topology {
   // Changes a link's capacity at runtime -- models failures, degradation
   // (flaky optics, congestion from external tenants) and recovery. Callers
   // driving a live simulation must invalidate its allocation afterwards so
-  // rates are recomputed against the new capacity.
+  // rates are recomputed against the new capacity. Bumps the capacity
+  // epoch, which the incremental RateAllocator folds into its component
+  // fingerprints: any capacity change conservatively invalidates every
+  // cached converged-rate record.
   void set_link_capacity(LinkId id, BytesPerSec capacity) {
     links_.at(id.value()).capacity = capacity;
+    ++capacity_epoch_;
+  }
+
+  // Monotonic counter incremented by every runtime capacity change. Cached
+  // allocation state derived from link capacities is valid only while this
+  // value is unchanged.
+  [[nodiscard]] std::uint64_t capacity_epoch() const noexcept {
+    return capacity_epoch_;
   }
 
   // Adds a full-duplex cable: two directed links. Returns {src->dst, dst->src}.
@@ -76,6 +87,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;  // indexed by node id
+  std::uint64_t capacity_epoch_ = 0;
 };
 
 }  // namespace echelon::topology

@@ -167,6 +167,147 @@ TEST(Allocator, EmptyPathGetsInfiniteRate) {
 }
 
 // ---------------------------------------------------------------------------
+// Edge cases: degenerate weights, infeasible caps, loopback flows mixed with
+// contended ones, and incremental-cache component isolation.
+// ---------------------------------------------------------------------------
+
+// Regression: a zero- or negative-weight flow used to divide by zero in the
+// water level (and trip the unfrozen_weight assert in Debug builds). Such
+// weights are now clamped to kMinFlowWeight: the degenerate flow receives an
+// arbitrarily small share and its neighbors keep (essentially) everything.
+TEST(Allocator, ZeroWeightFlowDoesNotDivideByZero) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].weight = 0.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_GE(flows[0].rate, 0.0);
+  EXPECT_LE(flows[0].rate, 1e-6);  // epsilon share only
+  EXPECT_NEAR(flows[1].rate, 10.0, 1e-6);
+  EXPECT_LE(flows[0].rate + flows[1].rate, 10.0 + 1e-6);
+}
+
+TEST(Allocator, NegativeWeightFlowIsClampedNotCrashing) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].weight = -3.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_GE(flows[0].rate, 0.0);
+  EXPECT_NEAR(flows[1].rate, 10.0, 1e-6);
+}
+
+TEST(Allocator, AllZeroWeightFlowsStillSplitCapacity) {
+  // Clamped equal (epsilon) weights degenerate to plain even max-min.
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  flows[0].weight = 0.0;
+  flows[1].weight = 0.0;
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 5.0);
+}
+
+TEST(Allocator, CapAboveAnyFeasibleShareActsUncapped) {
+  // A cap the fabric can never satisfy must not distort the fair share.
+  auto f = topology::make_big_switch(3, 10.0);
+  RateAllocator alloc(&f.topo);
+  std::vector<Flow> flows{make_flow(f, 0, 2, 100.0, 0),
+                          make_flow(f, 1, 2, 100.0, 1)};
+  flows[0].rate_cap = 1e12;  // far above the 10.0 port
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 5.0);
+}
+
+TEST(Allocator, LoopbackFlowsMixedWithContendedOnes) {
+  // Empty-path (src == dst) flows are never network-limited and must not
+  // perturb the water-fill of contended flows sharing the pass.
+  auto f = topology::make_big_switch(3, 10.0);
+  RateAllocator alloc(&f.topo);
+  Flow loop_uncapped = make_flow(f, 0, 1, 100.0, 0);
+  loop_uncapped.path.clear();
+  Flow loop_capped = make_flow(f, 0, 1, 100.0, 1);
+  loop_capped.path.clear();
+  loop_capped.rate_cap = 7.5;
+  std::vector<Flow> flows;
+  flows.push_back(std::move(loop_uncapped));
+  flows.push_back(std::move(loop_capped));
+  flows.push_back(make_flow(f, 0, 2, 100.0, 2));
+  flows.push_back(make_flow(f, 1, 2, 100.0, 3));
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  EXPECT_TRUE(std::isinf(flows[0].rate));
+  EXPECT_DOUBLE_EQ(flows[1].rate, 7.5);
+  EXPECT_DOUBLE_EQ(flows[2].rate, 5.0);
+  EXPECT_DOUBLE_EQ(flows[3].rate, 5.0);
+}
+
+// Two disjoint contention components on one fabric: churn (cap rewrites) in
+// one component must not perturb the other's cached rates -- exact double
+// equality, and the clean component must come from the cache (stats).
+TEST(Allocator, ComponentChurnDoesNotPerturbCleanComponent) {
+  auto f = topology::make_big_switch(4, 10.0);
+  RateAllocator alloc(&f.topo, AllocMode::kIncremental);
+  // Component A: hosts {0 -> 1} x2; component B: hosts {2 -> 3} x3.
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1),
+                          make_flow(f, 2, 3, 100.0, 2),
+                          make_flow(f, 2, 3, 100.0, 3),
+                          make_flow(f, 2, 3, 100.0, 4)};
+  flows[2].weight = 1.5;  // make B's shares non-trivial doubles
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  const double b0 = flows[2].rate;
+  const double b1 = flows[3].rate;
+  const double b2 = flows[4].rate;
+  // Churn A across several passes: toggle caps and weights through the
+  // notification setters.
+  for (int pass = 0; pass < 4; ++pass) {
+    flows[0].set_rate_cap(1.0 + pass);
+    flows[1].set_weight(1.0 + 0.5 * pass);
+    const auto reused_before = alloc.stats().components_reused;
+    alloc.allocate(p);
+    EXPECT_EQ(alloc.stats().components_reused, reused_before + 1)
+        << "clean component was not served from the cache";
+    EXPECT_EQ(flows[2].rate, b0);  // exact: bit-identical cached rates
+    EXPECT_EQ(flows[3].rate, b1);
+    EXPECT_EQ(flows[4].rate, b2);
+    // Flow 0 gets its cap, unless the shared port saturates first at the
+    // weighted fair share (unit weight vs flow 1's 1.0 + 0.5 * pass).
+    const double fair0 = 10.0 / (1.0 + (1.0 + 0.5 * pass));
+    EXPECT_DOUBLE_EQ(flows[0].rate, std::min(1.0 + pass, fair0));
+  }
+}
+
+// Runtime link-capacity changes must invalidate cached converged rates even
+// when no flow-side input changed (the capacity-epoch fingerprint).
+TEST(Allocator, RuntimeCapacityChangeInvalidatesCache) {
+  auto f = topology::make_big_switch(2, 10.0);
+  RateAllocator alloc(&f.topo, AllocMode::kIncremental);
+  std::vector<Flow> flows{make_flow(f, 0, 1, 100.0, 0),
+                          make_flow(f, 0, 1, 100.0, 1)};
+  auto p = ptrs(flows);
+  alloc.allocate(p);
+  alloc.allocate(p);  // second pass: served from cache
+  EXPECT_EQ(alloc.stats().components_reused, 1u);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 5.0);
+  // Degrade the uplink; no flow input changed, but rates must follow.
+  f.topo.set_link_capacity(flows[0].path.front(), 4.0);
+  alloc.allocate(p);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 2.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, 2.0);
+}
+
+// ---------------------------------------------------------------------------
 // Property sweep: on random instances, the allocation must (a) never exceed
 // any link capacity, (b) never exceed a flow's cap, and (c) be maximal for
 // uncapped flows (no uncapped flow can be raised without violating (a)).

@@ -8,7 +8,10 @@
 //
 //   1. Reference (seed-logic) implementations of the rate allocator and all
 //      five schedulers live in namespace `ref` below -- verbatim ports of
-//      the pre-dense code, hash maps and all.
+//      the pre-dense code, hash maps and all. (The allocator reference
+//      tracks the canonical algorithm, which since the incremental
+//      reallocation change is *per-component* progressive filling; it stays
+//      map-based so it keeps pinning dense-vs-map equivalence.)
 //   2. Randomized scenarios (>= 200 in total across big-switch and fat-tree
 //      fabrics) run both implementations on identical flow sets and assert
 //      bit-identical per-flow weights, rate caps and rates.
@@ -102,16 +105,36 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // ============================================================================
 namespace ref {
 
-// --- seed RateAllocator::allocate (hash-map link state) ---------------------
+// --- reference RateAllocator::allocate --------------------------------------
+// The canonical algorithm (since the incremental-allocation change) is
+// *per-component* progressive filling: contended flows are partitioned into
+// link-contention components and each component is water-filled
+// independently (max-min fairness is separable across link-disjoint flow
+// sets). This reference implements exactly that with hash maps and a plain
+// DSU; the production allocator uses epoch-stamped dense scratch, a
+// union-find threaded through the per-link state, and (in kIncremental
+// mode) a converged-rate cache -- see netsim/allocator.cpp and
+// tests/test_alloc_equivalence.cpp for the incremental-vs-full suite.
+// Degenerate (<= 0) weights are clamped to kMinFlowWeight, mirroring the
+// production fix for the old divide-by-zero.
 void allocate(const topology::Topology& topo, std::span<Flow*> flows) {
   struct LinkLoad {
     double remaining_capacity = 0.0;
     double unfrozen_weight = 0.0;
+    std::size_t owner = 0;  // first contended-flow index on this link
   };
   std::unordered_map<std::uint64_t, LinkLoad> links;
 
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows.size());
+  std::vector<Flow*> contended;
+  std::vector<double> weight;  // clamped effective weights
+  std::vector<std::size_t> parent;
+  auto find = [&parent](std::size_t s) {
+    while (parent[s] != s) {
+      parent[s] = parent[parent[s]];
+      s = parent[s];
+    }
+    return s;
+  };
   for (Flow* f : flows) {
     if (f->finished()) {
       f->rate = 0.0;
@@ -123,63 +146,90 @@ void allocate(const topology::Topology& topo, std::span<Flow*> flows) {
       f->rate = f->rate_cap ? *f->rate_cap : kInf;
       continue;
     }
-    unfrozen.push_back(f);
+    const std::size_t slot = contended.size();
+    const double w = f->weight > netsim::kMinFlowWeight
+                         ? f->weight
+                         : netsim::kMinFlowWeight;
+    contended.push_back(f);
+    weight.push_back(w);
+    parent.push_back(slot);
     for (LinkId lid : f->path) {
       auto [it, inserted] = links.try_emplace(lid.value());
       if (inserted) {
         it->second.remaining_capacity = topo.link(lid).capacity;
+        it->second.owner = slot;
       }
-      it->second.unfrozen_weight += f->weight;
+      it->second.unfrozen_weight += w;
+      const std::size_t ra = find(it->second.owner);
+      const std::size_t rb = find(slot);
+      if (ra != rb) parent[rb] = ra;
     }
   }
 
-  while (!unfrozen.empty()) {
-    double delta = kInf;
-    for (const Flow* f : unfrozen) {
-      for (LinkId lid : f->path) {
-        const LinkLoad& ll = links.at(lid.value());
-        delta = std::min(delta, ll.remaining_capacity / ll.unfrozen_weight);
-      }
-      if (f->rate_cap) {
-        delta = std::min(delta, (*f->rate_cap - f->rate) / f->weight);
-      }
-    }
-    if (!std::isfinite(delta)) break;
-    delta = std::max(delta, 0.0);
+  // Bucket contended flows into components, first-member order outside and
+  // span order inside (matching the production counting sort).
+  std::unordered_map<std::size_t, std::size_t> comp_of_root;
+  std::vector<std::vector<std::size_t>> comps;
+  for (std::size_t s = 0; s < contended.size(); ++s) {
+    const std::size_t r = find(s);
+    auto [it, inserted] = comp_of_root.try_emplace(r, comps.size());
+    if (inserted) comps.emplace_back();
+    comps[it->second].push_back(s);
+  }
 
-    std::vector<Flow*> next;
-    next.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      const double inc = f->weight * delta;
-      f->rate += inc;
-      for (LinkId lid : f->path) {
-        links.at(lid.value()).remaining_capacity -= inc;
-      }
-    }
-    constexpr double kEps = 1e-12;
-    for (Flow* f : unfrozen) {
-      bool frozen = false;
-      if (f->rate_cap && f->rate >= *f->rate_cap - kEps) {
-        f->rate = *f->rate_cap;
-        frozen = true;
-      } else {
+  for (const std::vector<std::size_t>& members : comps) {
+    std::vector<std::size_t> unfrozen = members;
+    while (!unfrozen.empty()) {
+      double delta = kInf;
+      for (const std::size_t s : unfrozen) {
+        const Flow* f = contended[s];
         for (LinkId lid : f->path) {
-          if (links.at(lid.value()).remaining_capacity <= kEps) {
-            frozen = true;
-            break;
+          const LinkLoad& ll = links.at(lid.value());
+          delta = std::min(delta, ll.remaining_capacity / ll.unfrozen_weight);
+        }
+        if (f->rate_cap) {
+          delta = std::min(delta, (*f->rate_cap - f->rate) / weight[s]);
+        }
+      }
+      if (!std::isfinite(delta)) break;
+      delta = std::max(delta, 0.0);
+
+      std::vector<std::size_t> next;
+      next.reserve(unfrozen.size());
+      for (const std::size_t s : unfrozen) {
+        Flow* f = contended[s];
+        const double inc = weight[s] * delta;
+        f->rate += inc;
+        for (LinkId lid : f->path) {
+          links.at(lid.value()).remaining_capacity -= inc;
+        }
+      }
+      constexpr double kEps = 1e-12;
+      for (const std::size_t s : unfrozen) {
+        Flow* f = contended[s];
+        bool frozen = false;
+        if (f->rate_cap && f->rate >= *f->rate_cap - kEps) {
+          f->rate = *f->rate_cap;
+          frozen = true;
+        } else {
+          for (LinkId lid : f->path) {
+            if (links.at(lid.value()).remaining_capacity <= kEps) {
+              frozen = true;
+              break;
+            }
           }
         }
-      }
-      if (frozen) {
-        for (LinkId lid : f->path) {
-          links.at(lid.value()).unfrozen_weight -= f->weight;
+        if (frozen) {
+          for (LinkId lid : f->path) {
+            links.at(lid.value()).unfrozen_weight -= weight[s];
+          }
+        } else {
+          next.push_back(s);
         }
-      } else {
-        next.push_back(f);
       }
+      if (next.size() == unfrozen.size()) break;
+      unfrozen.swap(next);
     }
-    if (next.size() == unfrozen.size()) break;
-    unfrozen.swap(next);
   }
 }
 
