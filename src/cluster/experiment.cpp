@@ -6,6 +6,7 @@
 
 #include "echelon/coflow_madd.hpp"
 #include "echelon/srpt.hpp"
+#include "faultsim/injector.hpp"
 #include "netsim/workflow.hpp"
 #include "runtime/priority_queue.hpp"
 #include "topology/builders.hpp"
@@ -181,6 +182,16 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     live.push_back(std::move(lj));
   }
 
+  // Arm fault injection (if any) before anything is scheduled: plan events
+  // land in the queue ahead of job launches, so same-instant ties resolve
+  // fault-first, deterministically.
+  std::unique_ptr<faultsim::FaultInjector> injector;
+  if (config.fault_plan != nullptr) {
+    injector = std::make_unique<faultsim::FaultInjector>(&sim, &fabric.topo,
+                                                         config.fault_plan);
+    injector->arm();
+  }
+
   // Launch at arrival times and run to quiescence.
   for (LiveJob& lj : live) {
     lj.engine =
@@ -206,6 +217,15 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
   result.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
                                                              wall_start)
                        .count();
+  if (injector) {
+    const faultsim::FaultSummary& fs = injector->summary();
+    result.fault_events = fs.events_fired;
+    result.flow_reroutes = fs.reroutes;
+    result.flow_parks = fs.parks;
+    result.flow_retries = fs.retries;
+    result.flows_abandoned = fs.abandoned;
+    result.flow_downtime = fs.downtime;
+  }
 
   for (std::size_t j = 0; j < live.size(); ++j) {
     const LiveJob& lj = live[j];

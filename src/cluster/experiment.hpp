@@ -9,6 +9,7 @@
 #include "cluster/metrics.hpp"
 #include "common/units.hpp"
 #include "echelon/echelon_madd.hpp"
+#include "faultsim/fault_plan.hpp"
 #include "netsim/simulator.hpp"
 #include "runtime/coordinator.hpp"
 
@@ -70,6 +71,13 @@ struct ExperimentConfig {
   // water-fills every component on every pass and is the reference mode of
   // tests/test_alloc_equivalence.cpp (results are bit-identical).
   netsim::AllocMode alloc_mode = netsim::AllocMode::kIncremental;
+
+  // Optional deterministic fault script, replayed by a FaultInjector during
+  // the run (DESIGN.md §8). Must outlive run_experiment; read-only, so one
+  // plan can be shared across sweep threads. nullptr = fault-free. A
+  // non-null plan with zero events produces byte-identical results to
+  // nullptr (proven by tests/test_faults.cpp).
+  const faultsim::FaultPlan* fault_plan = nullptr;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,

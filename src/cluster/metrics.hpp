@@ -43,6 +43,14 @@ struct ExperimentResult {
   std::uint64_t reuse_hits = 0;       // coordinator only
   double wall_ms = 0.0;               // host-side runtime of the simulation
 
+  // Fault-injection summary (all zero when no fault plan was attached).
+  std::uint64_t fault_events = 0;     // plan events fired
+  std::uint64_t flow_reroutes = 0;    // flows re-pathed around a dead link
+  std::uint64_t flow_parks = 0;       // flows pulled from the network
+  std::uint64_t flow_retries = 0;     // failed resubmission attempts
+  std::uint64_t flows_abandoned = 0;  // retry budget exhausted
+  Duration flow_downtime = 0.0;       // total time flows spent parked
+
   SimTime makespan = 0.0;
 
   [[nodiscard]] Samples jct_samples() const {

@@ -42,6 +42,12 @@ struct Worker {
 
   std::deque<TaskId> queue;    // ready tasks waiting for the GPU
   TaskId running = TaskId::invalid();
+  // Straggler multiplier: tasks *starting* on this worker run for
+  // duration * compute_scale (fault injection models a slowed GPU; paper
+  // Fig. 6 recalibration). 1.0 is bitwise neutral -- d * 1.0 == d in IEEE
+  // arithmetic -- so fault-free runs are unperturbed. A running task keeps
+  // the scale it started with.
+  double compute_scale = 1.0;
   Duration busy_time = 0.0;    // total time spent executing tasks
   SimTime first_start = kTimeInfinity;
   SimTime last_finish = 0.0;

@@ -4,6 +4,17 @@
 // scheduled for the same instant always fire in the order they were
 // scheduled -- a requirement for reproducible simulations.
 //
+// "Same instant" is subtle: the simulator compares times with a *relative*
+// tolerance (time_eq), but the heap orders entries by their exact double
+// values (time_eq is not transitive, so it cannot be a strict-weak-order
+// tie-break inside the comparator). Two events whose timestamps are
+// epsilon-close but bitwise distinct would pop in timestamp order -- i.e.
+// *reverse* submission order when the later-submitted event computed the
+// arithmetically smaller double for the same instant. pop_due() exists to
+// repair this: it drains every entry due at a horizon and hands them back
+// sorted by submission sequence, so callers that batch-fire a simultaneity
+// window observe global submission order within it.
+//
 // Hot-path layout (DESIGN.md "Event-loop fast path"): the heap itself is a
 // plain vector of 24-byte POD entries ordered with std::push_heap/pop_heap,
 // and the callbacks live in a side pool indexed by slot. Compared to the
@@ -69,6 +80,31 @@ class EventQueue {
     return cb;
   }
 
+  // Drains every entry due at `horizon` (time_le, i.e. the simulator's
+  // relative simultaneity window) and appends their callbacks to `out`
+  // sorted by submission sequence. This is the stable-order batch pop the
+  // run loop uses: entries whose timestamps are epsilon-equal but bitwise
+  // distinct still fire in the order they were scheduled. Events scheduled
+  // *during* the resulting callbacks carry higher sequence numbers and join
+  // the caller's next batch, so global submission order is preserved across
+  // batches too. Uses a member scratch vector: steady-state calls allocate
+  // nothing once high-water sizes are reached.
+  void pop_due(SimTime horizon, std::vector<Callback>& out) {
+    due_scratch_.clear();
+    while (!heap_.empty() && time_le(heap_.front().at, horizon)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      due_scratch_.push_back(heap_.back());
+      heap_.pop_back();
+    }
+    std::sort(due_scratch_.begin(), due_scratch_.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    for (const Entry& e : due_scratch_) {
+      out.push_back(std::move(pool_[e.slot]));
+      pool_[e.slot] = nullptr;
+      free_slots_.push_back(e.slot);
+    }
+  }
+
  private:
   struct Entry {
     SimTime at;
@@ -87,6 +123,7 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::vector<Callback> pool_;          // slot -> pending callback
   std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> due_scratch_;      // pop_due batch, reused across calls
   std::uint64_t seq_ = 0;
 };
 

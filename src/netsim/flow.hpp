@@ -30,7 +30,12 @@ struct FlowSpec {
   std::uint64_t signature = 0;
 };
 
-enum class FlowState { kActive, kFinished };
+// kParked: the flow is known to the simulator but not in the network -- its
+// path was severed by a fault (or it was unroutable at submission) and it is
+// waiting for recovery. A parked flow holds its materialized `remaining`,
+// carries rate 0, and is invisible to the scheduler and allocator until
+// resumed (Simulator::resume_flow) or given up on (Simulator::abandon_flow).
+enum class FlowState { kActive, kParked, kFinished };
 
 // Live flow state, owned by the Simulator.
 struct Flow {
@@ -62,6 +67,10 @@ struct Flow {
   Bytes remaining = 0.0;
   SimTime start_time = 0.0;     // when the flow entered the network
   SimTime finish_time = kTimeInfinity;
+  // True once the flow has actually entered the network (arrival listeners
+  // fired, start_time fixed). Flows parked at birth because no route existed
+  // enter on their first successful resume instead of at submission.
+  bool entered = false;
 
   // --- control plane ---
   // Weight for weighted max-min sharing (fair default: 1).
@@ -103,6 +112,9 @@ struct Flow {
 
   [[nodiscard]] bool finished() const noexcept {
     return state == FlowState::kFinished;
+  }
+  [[nodiscard]] bool parked() const noexcept {
+    return state == FlowState::kParked;
   }
   [[nodiscard]] Duration completion_time() const noexcept {
     return finish_time - start_time;

@@ -33,6 +33,13 @@ class NetworkScheduler {
     (void)sim;
     (void)flow;
   }
+  // Fired by Simulator::notify_topology_change after link capacities or
+  // up/down state changed at runtime (fault injection, operator action).
+  // Schedulers holding decisions derived from path capacities -- e.g. the
+  // coordinator's signature-keyed rate cache -- must drop them here; the
+  // default is a no-op because most policies recompute from scratch every
+  // control pass.
+  virtual void on_topology_change(Simulator& sim) { (void)sim; }
 
   // Assign `weight` / `rate_cap` on the active flows. The allocator enforces
   // feasibility afterwards, so over-subscription degrades gracefully rather

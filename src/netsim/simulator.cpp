@@ -86,6 +86,11 @@ void Simulator::start_next_task(WorkerId worker) {
   w.queue.pop_front();
   ComputeTask& t = tasks_.at(id.value());
   t.start_time = now_;
+  // Straggler scaling is applied once, at start, and recorded back into the
+  // task so busy-time accounting and later reads see the actual runtime.
+  // The healthy scale of 1.0 is bitwise neutral (d * 1.0 == d), so
+  // fault-free runs are unchanged.
+  t.duration *= w.compute_scale;
   w.running = id;
   w.first_start = std::min(w.first_start, now_);
   // [this, id] fits std::function's small-object buffer: no allocation.
@@ -124,9 +129,22 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
   if (f.spec.src != f.spec.dst) {
     auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
     if (!path.has_value()) {
-      // A disconnected endpoint pair is a caller bug (bad workload spec or
-      // topology), not a recoverable condition -- but it must not vanish in
-      // release builds the way the old assert did.
+      if (unroutable_handler_) {
+        // Graceful degradation (fault injection): the endpoints are
+        // disconnected *right now* -- park the flow at birth and let the
+        // injector's retry policy decide when to resubmit it. The flow has
+        // not entered the network: no arrival listeners, no scheduler
+        // notification, start_time is fixed on its first real entry.
+        f.state = FlowState::kParked;
+        flows_.push_back(std::move(f));
+        flow_done_.push_back(std::move(on_done));
+        UnroutableHandler handler = unroutable_handler_;  // reentrancy-safe
+        handler(*this, id);
+        return id;
+      }
+      // Without a handler a disconnected endpoint pair is a caller bug (bad
+      // workload spec or topology), not a recoverable condition -- but it
+      // must not vanish in release builds the way the old assert did.
       ECHELON_LOG(kError) << "submit_flow: no route from node "
                           << f.spec.src.value() << " to node "
                           << f.spec.dst.value() << " (flow '" << f.spec.label
@@ -138,6 +156,7 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
     }
     f.path = std::move(*path);
   }
+  f.entered = true;
   flows_.push_back(std::move(f));
   flow_done_.push_back(std::move(on_done));
 
@@ -165,7 +184,12 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
 }
 
 void Simulator::schedule_at(SimTime at, TimerCallback cb) {
-  assert(at >= now_ - kTimeEpsilon && "cannot schedule in the past");
+  // Relative tolerance, consistent with the run loop's simultaneity window:
+  // the loop fires events up to a *relative* epsilon early (time_le), so a
+  // callback computing "a moment ago" arithmetically may legitimately land
+  // an epsilon before now_ at large simulation times. The old absolute
+  // check (`at >= now_ - kTimeEpsilon`) aborted exactly there.
+  assert(!time_lt(at, now_) && "cannot schedule in the past");
   // Park the (potentially large) user callback in a pooled slot so the
   // closure handed to the EventQueue is just {this, slot} -- within
   // std::function's small-object buffer. Steady-state timer scheduling and
@@ -351,12 +375,134 @@ void Simulator::finish_flow(FlowId id) {
   complete_flow(id, /*notify_scheduler=*/true);
 }
 
+void Simulator::park_flow(FlowId id) {
+  Flow& f = flows_.at(id.value());
+  if (f.state != FlowState::kActive || f.active_index == Flow::kNotActive) {
+    return;  // parked, finished, or never entered: nothing to remove
+  }
+  // Materialize every active flow's bytes *before* pulling this one out:
+  // `remaining` must record exactly what was left un-transmitted at the park
+  // instant. The epoch moves to now_, so the reallocation below stamps a
+  // zero-dt no-op.
+  stamp_active_flows(now_);
+
+  // Swap-and-pop removal, mirroring finish_flow.
+  const std::size_t idx = f.active_index;
+  assert(idx < active_flows_.size() && active_flows_[idx] == id);
+  const std::size_t last = active_flows_.size() - 1;
+  if (idx != last) {
+    const FlowId moved = active_flows_[last];
+    active_flows_[idx] = moved;
+    flows_.at(moved.value()).active_index = idx;
+    active_order_dirty_ = true;
+  }
+  active_flows_.pop_back();
+  f.active_index = Flow::kNotActive;
+  f.rate = 0.0;
+  f.state = FlowState::kParked;
+  // Invalidate any completion-heap entry the flow may still own: after a
+  // resume the flow is active again with a valid active_index, so a stale
+  // entry from before the park would otherwise pass the validity check.
+  f.completion_gen = ++heap_gen_;
+  allocation_dirty_ = true;
+
+  // The scheduler saw this flow arrive, so it must see it leave (group
+  // caches, frozen-member handling). The completion callback and global
+  // flow listeners do NOT fire: the flow is suspended, not done -- in
+  // particular the EchelonFlow registry must not mark the member finished.
+  const Flow snapshot = f;
+  scheduler_->on_flow_departure(*this, snapshot);
+}
+
+void Simulator::resume_flow(FlowId id, topology::Path path) {
+  Flow& f = flows_.at(id.value());
+  assert(f.state == FlowState::kParked && "resume_flow on non-parked flow");
+  if (f.state != FlowState::kParked) return;
+  f.path = std::move(path);
+  f.state = FlowState::kActive;
+  f.rate = 0.0;
+  // The allocator's converged-rate cache does not fingerprint paths; the
+  // dirty mark forces the flow's component to refill against the new path.
+  f.control_dirty = true;
+
+  if (!f.entered) {
+    // Parked at birth: this is the flow's first real network entry. Fix the
+    // start time and fire the arrival listeners the submission path skipped.
+    f.entered = true;
+    f.start_time = now_;
+    for (const FlowCallback& cb : flow_arrival_listeners_) {
+      cb(*this, flows_.at(id.value()));
+    }
+    if (flows_.at(id.value()).remaining <= kBytesEpsilon) {
+      // Zero-byte flow finally deliverable: completes instantly, never
+      // joining the active set (mirrors submit_flow).
+      complete_flow(id, /*notify_scheduler=*/false);
+      return;
+    }
+  }
+
+  Flow& fr = flows_.at(id.value());  // listeners may reallocate flows_
+  fr.active_index = active_flows_.size();
+  active_flows_.push_back(id);
+  // The resumed id is almost certainly smaller than the current tail.
+  active_order_dirty_ = true;
+  allocation_dirty_ = true;
+  scheduler_->on_flow_arrival(*this, fr);
+}
+
+void Simulator::reroute_flow(FlowId id, topology::Path path) {
+  Flow& f = flows_.at(id.value());
+  assert(f.state == FlowState::kActive && f.active_index != Flow::kNotActive &&
+         "reroute_flow on inactive flow");
+  f.path = std::move(path);
+  // See resume_flow: the component cache validates members/weights/caps and
+  // the capacity epoch but not paths, so the reroute must announce itself.
+  f.control_dirty = true;
+  allocation_dirty_ = true;
+}
+
+void Simulator::abandon_flow(FlowId id) {
+  Flow& f = flows_.at(id.value());
+  assert(f.state == FlowState::kParked && "abandon_flow on non-parked flow");
+  if (f.state != FlowState::kParked) return;
+  if (!f.entered) {
+    // Parked at birth and never admitted: fire the arrival listeners now so
+    // every completion is paired with exactly one arrival -- the EchelonFlow
+    // registry requires note_start before note_finish, and a group member
+    // that is abandoned unseen must still enter the ledger (it "starts" and
+    // finishes at the abandonment instant, delivering nothing). The flow
+    // never joins the active set and the scheduler is never notified.
+    f.entered = true;
+    f.start_time = now_;
+    for (const FlowCallback& cb : flow_arrival_listeners_) {
+      cb(*this, flows_.at(id.value()));  // listeners may reallocate flows_
+    }
+  }
+  // Unsuccessful completion: finish_time is fixed and the completion
+  // callback + listeners fire so dependent DAG work is released, but
+  // `remaining` keeps the undelivered bytes as the loss record. The
+  // scheduler is not re-notified -- it saw the departure at park time (and
+  // never saw parked-at-birth flows at all).
+  complete_flow(id, /*notify_scheduler=*/false);
+}
+
 SimTime Simulator::run(SimTime deadline) {
   while (true) {
-    // 1. Fire every event due at the current instant.
+    // 1. Fire every event due at the current instant, in *submission* order.
+    // The batch drain (EventQueue::pop_due) is what guarantees stable order
+    // across the whole simultaneity window: events whose timestamps are
+    // epsilon-equal but bitwise distinct would otherwise pop in timestamp
+    // order, i.e. possibly reverse submission order. Events scheduled by a
+    // firing callback carry higher sequence numbers and drain in the next
+    // iteration -- still at this instant, still after everything already
+    // submitted.
     while (!events_.empty() && time_le(events_.next_time(), now_)) {
-      auto cb = events_.pop();
-      cb();
+      due_cbs_.clear();
+      events_.pop_due(now_, due_cbs_);
+      for (auto& cb : due_cbs_) {
+        cb();
+        cb = nullptr;  // release captured state before the next fires
+      }
     }
 
     // 2. Refresh rates if the flow set or control state changed. The stamp

@@ -108,6 +108,13 @@ class Simulator {
     return tasks_.at(id.value());
   }
 
+  // Straggler control: tasks *starting* on `worker` after this call run for
+  // duration * scale. The currently running task (if any) keeps the scale it
+  // started with. scale == 1.0 is bitwise neutral.
+  void set_compute_scale(WorkerId worker, double scale) {
+    workers_.at(worker.value()).compute_scale = scale;
+  }
+
   // --- flows ---
   // Submits a flow that starts *now*. `on_done` fires at completion.
   FlowId submit_flow(FlowSpec spec, FlowCallback on_done = {});
@@ -120,9 +127,61 @@ class Simulator {
   [[nodiscard]] std::size_t active_flow_count() const noexcept {
     return active_flows_.size();
   }
+  // The active set (unspecified order between control passes; ascending
+  // FlowId right after a control pass). Read-only view for fault injection
+  // and diagnostics.
+  [[nodiscard]] const std::vector<FlowId>& active_flows() const noexcept {
+    return active_flows_;
+  }
 
   // Mutable flow access for schedulers (weights/caps).
   [[nodiscard]] Flow& flow_mutable(FlowId id) { return flows_.at(id.value()); }
+
+  // --- graceful degradation (fault injection) ---
+  // Removes an active flow from the network without finishing it: bytes
+  // transmitted so far are materialized, the scheduler sees a departure (its
+  // caches must not keep the flow), but the completion callback and global
+  // flow listeners do NOT fire -- the flow is suspended, not done. No-op on
+  // flows that are not active.
+  void park_flow(FlowId id);
+
+  // Puts a parked flow back into the network on `path`, which must be valid
+  // in the current topology. Resumes from the parked `remaining`; on the
+  // first real entry (flows parked at birth) fixes start_time and fires the
+  // arrival listeners. The scheduler sees a (re-)arrival.
+  void resume_flow(FlowId id, topology::Path path);
+
+  // Replaces an active flow's path in place (fault rerouting). Marks the
+  // flow control-dirty so the incremental allocator refills its component
+  // (the converged-rate cache does not fingerprint paths) and forces a
+  // reallocation.
+  void reroute_flow(FlowId id, topology::Path path);
+
+  // Gives up on a parked flow (retry budget exhausted): the flow completes
+  // *unsuccessfully* at the current instant -- finish_time is set and the
+  // completion callback and flow listeners fire so dependent work is
+  // released, but `remaining` keeps the undelivered byte count as a record
+  // of loss. The scheduler is not notified (it saw the departure at park
+  // time).
+  void abandon_flow(FlowId id);
+
+  // When set, a flow submitted with no route between its endpoints is
+  // *parked at birth* (state kParked, not entered, handler invoked with its
+  // id) instead of submit_flow throwing std::invalid_argument. Installed by
+  // the fault injector, which owns the retry/park policy for outages.
+  using UnroutableHandler = std::function<void(Simulator&, FlowId)>;
+  void set_unroutable_handler(UnroutableHandler handler) {
+    unroutable_handler_ = std::move(handler);
+  }
+
+  // Tells the control plane that link capacities / up-down state changed at
+  // runtime: forwards to NetworkScheduler::on_topology_change and
+  // invalidates the allocation. Fault injectors call this after every
+  // topology mutation.
+  void notify_topology_change() {
+    scheduler_->on_topology_change(*this);
+    allocation_dirty_ = true;
+  }
 
   // --- timers ---
   void schedule_at(SimTime at, TimerCallback cb);
@@ -234,6 +293,9 @@ class Simulator {
   std::uint64_t heap_gen_ = 0;
   // Scratch for the heap retirement pass (due flows, sorted descending id).
   std::vector<FlowId> retire_scratch_;
+  // Scratch for the step-1 batch event drain (EventQueue::pop_due): all
+  // events due within the simultaneity window, in submission order.
+  std::vector<EventQueue::Callback> due_cbs_;
 
   // Timer callbacks live in a pooled side table so the EventQueue entry only
   // captures {this, slot} -- small enough for std::function's small-object
@@ -248,6 +310,7 @@ class Simulator {
   std::vector<FlowCallback> flow_listeners_;
   std::vector<FlowCallback> flow_arrival_listeners_;
   std::vector<TaskCallback> task_listeners_;
+  UnroutableHandler unroutable_handler_;
 
   bool allocation_dirty_ = false;
   // True when swap-and-pop retirement has perturbed active_flows_ away from

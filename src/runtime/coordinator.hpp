@@ -67,6 +67,16 @@ class Coordinator final : public netsim::NetworkScheduler {
     ++dirty_events_;
     policy_.on_flow_departure(sim, flow);
   }
+  // Runtime topology changes (fault injection) invalidate the iterative
+  // decision cache: a cached rate was granted against path capacities that
+  // no longer hold, and replaying it after a link loss could over-subscribe
+  // the degraded fabric (the allocator would clamp, but the *decision* is
+  // stale). Drop the cache and force a heuristic re-run.
+  void on_topology_change(netsim::Simulator& sim) override {
+    decision_cache_.clear();
+    ++dirty_events_;
+    policy_.on_topology_change(sim);
+  }
   [[nodiscard]] std::string name() const override;
 
   // --- control-plane statistics ------------------------------------------------

@@ -32,6 +32,13 @@ class PriorityQueueEnforcer final : public netsim::NetworkScheduler {
   void control(netsim::Simulator& sim,
                std::span<netsim::Flow*> active) override;
 
+  // Topology changes must reach the inner policy (the coordinator drops its
+  // signature-keyed decision cache on this hook); the enforcer itself is
+  // stateless w.r.t. the fabric.
+  void on_topology_change(netsim::Simulator& sim) override {
+    inner_->on_topology_change(sim);
+  }
+
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "+pq" + std::to_string(config_.num_queues);
   }

@@ -25,7 +25,16 @@ LinkId Topology::add_link(NodeId src, NodeId dst, BytesPerSec capacity) {
   const LinkId id{links_.size()};
   links_.push_back(Link{id, src, dst, capacity});
   adjacency_.at(src.value()).push_back(id);
+  link_up_.push_back(1);
   return id;
+}
+
+std::vector<LinkId> Topology::incident_links(NodeId n) const {
+  std::vector<LinkId> out;
+  for (const auto& l : links_) {
+    if (l.src == n || l.dst == n) out.push_back(l.id);
+  }
+  return out;
 }
 
 std::pair<LinkId, LinkId> Topology::add_duplex(NodeId a, NodeId b,
@@ -63,7 +72,10 @@ std::optional<Path> Topology::route(NodeId src, NodeId dst,
   // among ties by ECMP hash.
   std::vector<std::uint32_t> dist(nodes_.size(), kUnreached);
   std::vector<std::vector<LinkId>> in_links(nodes_.size());
-  for (const auto& l : links_) in_links[l.dst.value()].push_back(l.id);
+  for (const auto& l : links_) {
+    if (!link_up_[l.id.value()]) continue;  // down links carry no traffic
+    in_links[l.dst.value()].push_back(l.id);
+  }
 
   std::deque<NodeId> queue;
   dist[dst.value()] = 0;
@@ -88,6 +100,7 @@ std::optional<Path> Topology::route(NodeId src, NodeId dst,
     LinkId best = LinkId::invalid();
     std::uint64_t best_hash = 0;
     for (LinkId lid : adjacency_[cur.value()]) {
+      if (!link_up_[lid.value()]) continue;
       const Link& l = links_[lid.value()];
       if (dist[l.dst.value()] != want) continue;
       const std::uint64_t h = ecmp_mix(ecmp_seed, lid.value());

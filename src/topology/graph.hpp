@@ -47,6 +47,26 @@ class Topology {
     return capacity_epoch_;
   }
 
+  // Administratively takes a link down (or back up). A down link carries no
+  // traffic and is skipped by route(); capacity is preserved so recovery
+  // restores the exact nominal value. Bumps the capacity epoch for the same
+  // reason set_link_capacity does: cached allocation state must not survive
+  // a reachability change.
+  void set_link_up(LinkId id, bool up) {
+    std::uint8_t& state = link_up_.at(id.value());
+    if (static_cast<bool>(state) == up) return;
+    state = up ? 1 : 0;
+    ++capacity_epoch_;
+  }
+
+  [[nodiscard]] bool link_up(LinkId id) const {
+    return link_up_.at(id.value()) != 0;
+  }
+
+  // All directed links touching node `n` (both directions) -- used by fault
+  // injection to take a whole node down. O(L) scan; not on any hot path.
+  [[nodiscard]] std::vector<LinkId> incident_links(NodeId n) const;
+
   // Adds a full-duplex cable: two directed links. Returns {src->dst, dst->src}.
   std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b,
                                        BytesPerSec capacity);
@@ -60,10 +80,12 @@ class Topology {
 
   [[nodiscard]] std::vector<NodeId> hosts() const;
 
-  // Shortest path (hop count) from src to dst. Among equal-cost paths the
-  // choice is deterministic in `ecmp_seed`, so a given flow always takes the
-  // same path while different flows spread across parallel links.
-  // Returns std::nullopt when dst is unreachable.
+  // Shortest path (hop count) from src to dst over *up* links only. Among
+  // equal-cost paths the choice is deterministic in `ecmp_seed`, so a given
+  // flow always takes the same path while different flows spread across
+  // parallel links. With every link up the result is identical to the
+  // fault-free routing decision. Returns std::nullopt when dst is
+  // unreachable (possibly because of down links).
   [[nodiscard]] std::optional<Path> route(NodeId src, NodeId dst,
                                           std::uint64_t ecmp_seed = 0) const;
 
@@ -87,6 +109,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;  // indexed by node id
+  std::vector<std::uint8_t> link_up_;           // indexed by link id; 1 = up
   std::uint64_t capacity_epoch_ = 0;
 };
 

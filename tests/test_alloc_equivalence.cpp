@@ -8,7 +8,8 @@
 // deterministic function of exactly those validated inputs, a cache hit
 // restores *bit-identical* doubles -- kIncremental is not an approximation
 // of AllocMode::kFullRecompute, it is the same function computed lazily.
-// This suite keeps that claim honest:
+// This suite keeps that claim honest (shared scaffolding lives in
+// tests/equivalence_harness.hpp):
 //
 //   1. Randomized cluster experiments across all five SchedulerKinds on both
 //      big-switch and leaf-spine fabrics assert bit-identical
@@ -21,171 +22,58 @@
 //      degradation/recovery) assert bit-identical completion *traces*
 //      between the two modes -- and assert the incremental run actually
 //      served components from its cache, so the equivalence is not vacuous.
-//   3. An allocation-counting operator-new hook proves steady-state
-//      incremental allocate() passes -- cache hits *and* refills under
-//      control-plane churn, including the record-store sweep -- perform
-//      zero heap allocations once the arenas and the record slab are warm.
+//   3. The harness's allocation-counting operator-new hook proves
+//      steady-state incremental allocate() passes -- cache hits *and*
+//      refills under control-plane churn, including the record-store sweep
+//      -- perform zero heap allocations once the arenas and the record slab
+//      are warm.
 
-#include <gtest/gtest.h>
+#include "equivalence_harness.hpp"
 
-#include <atomic>
-#include <cmath>
-#include <cstdlib>
-#include <new>
 #include <string>
-#include <tuple>
 #include <vector>
 
-#include "cluster/experiment.hpp"
-#include "cluster/trace.hpp"
-#include "common/rng.hpp"
 #include "echelon/srpt.hpp"
-#include "netsim/allocator.hpp"
-#include "netsim/simulator.hpp"
-#include "topology/builders.hpp"
-
-// --- allocation-counting hook -----------------------------------------------
-// Same pattern as tests/test_simloop_equivalence.cpp: counting global
-// new/delete, off by default, disabled under ASan/TSan (the malloc-backed
-// replacements fight the sanitizer allocator interceptors).
-
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define ECHELON_ALLOC_HOOK 0
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define ECHELON_ALLOC_HOOK 0
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-#if ECHELON_ALLOC_HOOK
-void* operator new(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#endif  // ECHELON_ALLOC_HOOK
 
 namespace echelon {
 namespace {
 
-using cluster::ExperimentConfig;
-using cluster::ExperimentResult;
-using cluster::FabricKind;
-using cluster::SchedulerKind;
+using eqh::expect_same_result;
+using eqh::run_cluster;
+using eqh::RunSpec;
+using eqh::small_trace;
 using netsim::AllocMode;
 using netsim::Flow;
 using netsim::RateAllocator;
 using netsim::SimLoopMode;
-using netsim::Simulator;
-
-// ============================================================================
-// Helpers
-// ============================================================================
-
-#define EXPECT_BITEQ(a, b) EXPECT_EQ(a, b)
-
-void expect_same_result(const ExperimentResult& inc,
-                        const ExperimentResult& full) {
-  EXPECT_EQ(inc.scheduler_name, full.scheduler_name);
-  EXPECT_BITEQ(inc.makespan, full.makespan);
-  EXPECT_BITEQ(inc.total_tardiness, full.total_tardiness);
-  EXPECT_BITEQ(inc.weighted_total_tardiness, full.weighted_total_tardiness);
-  EXPECT_EQ(inc.control_invocations, full.control_invocations);
-  EXPECT_EQ(inc.heuristic_runs, full.heuristic_runs);
-  EXPECT_EQ(inc.reuse_hits, full.reuse_hits);
-  // wall_ms is host timing: nondeterministic by nature, excluded.
-  ASSERT_EQ(inc.jobs.size(), full.jobs.size());
-  for (std::size_t j = 0; j < inc.jobs.size(); ++j) {
-    const auto& a = inc.jobs[j];
-    const auto& b = full.jobs[j];
-    EXPECT_EQ(a.job, b.job);
-    EXPECT_EQ(a.description, b.description);
-    EXPECT_BITEQ(a.arrival, b.arrival);
-    EXPECT_BITEQ(a.finish, b.finish);
-    EXPECT_BITEQ(a.mean_gpu_idle_fraction, b.mean_gpu_idle_fraction);
-    ASSERT_EQ(a.iteration_times.size(), b.iteration_times.size());
-    for (std::size_t k = 0; k < a.iteration_times.size(); ++k) {
-      EXPECT_BITEQ(a.iteration_times[k], b.iteration_times[k]);
-    }
-  }
-}
-
-std::vector<cluster::JobSpec> small_trace(std::uint64_t seed,
-                                          double jitter = 0.0) {
-  cluster::TraceConfig tcfg;
-  tcfg.num_jobs = 6;
-  tcfg.seed = seed;
-  tcfg.arrival_rate = 3.0;
-  tcfg.iterations = 2;
-  tcfg.min_width = 1024;
-  tcfg.max_width = 2048;
-  tcfg.rank_choices = {2, 4};
-  auto jobs = cluster::generate_trace(tcfg);
-  if (jitter > 0.0) {
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      jobs[j].compute_jitter = jitter;
-      jobs[j].jitter_seed = seed * 1000 + j;
-    }
-  }
-  return jobs;
-}
-
-ExperimentResult run_mode(const std::vector<cluster::JobSpec>& jobs,
-                          SchedulerKind kind, FabricKind fabric,
-                          AllocMode alloc_mode,
-                          SimLoopMode loop_mode = SimLoopMode::kLazy) {
-  ExperimentConfig cfg;
-  cfg.scheduler = kind;
-  cfg.fabric = fabric;
-  cfg.hosts = 16;
-  cfg.port_capacity = gbps(25);
-  cfg.oversubscription = fabric == FabricKind::kLeafSpine ? 2.0 : 1.0;
-  cfg.loop_mode = loop_mode;
-  cfg.alloc_mode = alloc_mode;
-  return cluster::run_experiment(jobs, cfg);
-}
 
 // ============================================================================
 // 1. Cluster-level golden equivalence: all schedulers x both fabrics
 // ============================================================================
 
-class IncrementalVsFull
-    : public ::testing::TestWithParam<std::tuple<SchedulerKind, FabricKind>> {
-};
+using IncrementalVsFull = eqh::SchedFabricTest;
 
 TEST_P(IncrementalVsFull, BitIdenticalExperimentResults) {
   const auto [kind, fabric] = GetParam();
   for (const std::uint64_t seed : {11u, 23u, 47u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const auto jobs = small_trace(seed);
-    expect_same_result(
-        run_mode(jobs, kind, fabric, AllocMode::kIncremental),
-        run_mode(jobs, kind, fabric, AllocMode::kFullRecompute));
+    RunSpec inc{.scheduler = kind, .fabric = fabric,
+                .alloc = AllocMode::kIncremental};
+    RunSpec full{.scheduler = kind, .fabric = fabric,
+                 .alloc = AllocMode::kFullRecompute};
+    expect_same_result(run_cluster(jobs, inc), run_cluster(jobs, full));
   }
 }
 
 TEST_P(IncrementalVsFull, BitIdenticalWithComputeJitter) {
   const auto [kind, fabric] = GetParam();
   const auto jobs = small_trace(7, /*jitter=*/0.05);
-  expect_same_result(
-      run_mode(jobs, kind, fabric, AllocMode::kIncremental),
-      run_mode(jobs, kind, fabric, AllocMode::kFullRecompute));
+  RunSpec inc{.scheduler = kind, .fabric = fabric,
+              .alloc = AllocMode::kIncremental};
+  RunSpec full{.scheduler = kind, .fabric = fabric,
+               .alloc = AllocMode::kFullRecompute};
+  expect_same_result(run_cluster(jobs, inc), run_cluster(jobs, full));
 }
 
 // The full {lazy, eager} x {incremental, full} matrix must agree: the
@@ -195,125 +83,36 @@ TEST_P(IncrementalVsFull, BitIdenticalWithComputeJitter) {
 TEST_P(IncrementalVsFull, FourWayModeMatrixAgrees) {
   const auto [kind, fabric] = GetParam();
   const auto jobs = small_trace(83);
-  const auto base = run_mode(jobs, kind, fabric, AllocMode::kIncremental,
-                             SimLoopMode::kLazy);
-  expect_same_result(base, run_mode(jobs, kind, fabric,
-                                    AllocMode::kFullRecompute,
-                                    SimLoopMode::kLazy));
-  expect_same_result(base, run_mode(jobs, kind, fabric,
-                                    AllocMode::kIncremental,
-                                    SimLoopMode::kEagerScan));
-  expect_same_result(base, run_mode(jobs, kind, fabric,
-                                    AllocMode::kFullRecompute,
-                                    SimLoopMode::kEagerScan));
+  const auto base = run_cluster(
+      jobs, {.scheduler = kind, .fabric = fabric,
+             .loop = SimLoopMode::kLazy, .alloc = AllocMode::kIncremental});
+  for (const auto loop : {SimLoopMode::kLazy, SimLoopMode::kEagerScan}) {
+    for (const auto alloc :
+         {AllocMode::kIncremental, AllocMode::kFullRecompute}) {
+      if (loop == SimLoopMode::kLazy && alloc == AllocMode::kIncremental) {
+        continue;
+      }
+      expect_same_result(base, run_cluster(jobs, {.scheduler = kind,
+                                                  .fabric = fabric,
+                                                  .loop = loop,
+                                                  .alloc = alloc}));
+    }
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllSchedulersBothFabrics, IncrementalVsFull,
-    ::testing::Combine(::testing::Values(SchedulerKind::kFairSharing,
-                                         SchedulerKind::kSrpt,
-                                         SchedulerKind::kCoflowMadd,
-                                         SchedulerKind::kEchelonMadd,
-                                         SchedulerKind::kCoordinator),
-                       ::testing::Values(FabricKind::kBigSwitch,
-                                         FabricKind::kLeafSpine)),
-    [](const auto& info) {
-      std::string name = cluster::to_string(std::get<0>(info.param));
-      for (char& c : name) {
-        if (c == '-') c = '_';
-      }
-      name += std::get<1>(info.param) == FabricKind::kBigSwitch
-                  ? "_bigswitch"
-                  : "_leafspine";
-      return name;
-    });
+ECHELON_INSTANTIATE_SCHED_FABRIC(IncrementalVsFull);
 
 // ============================================================================
 // 2. Simulator-level fuzz: completion-trace equivalence
 // ============================================================================
 
-struct TraceEvent {
-  std::uint64_t flow;
-  double finish;
-  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
-};
-
-struct FuzzOutcome {
-  std::vector<TraceEvent> trace;
-  RateAllocator::Stats alloc_stats;
-};
-
-// Randomized scenario: `n` flows submitted at staggered times (with
-// deliberate src == dst loopback collisions), no-op timers in between, and
-// -- when `capacity_churn` is set -- timers that degrade and restore random
-// link capacities mid-run (the capacity-epoch invalidation path). Returns
-// the exact completion trace plus the allocator's cache telemetry.
-FuzzOutcome run_fuzz_scenario(AllocMode alloc_mode, std::uint64_t seed,
-                              int n, bool capacity_churn,
-                              netsim::NetworkScheduler* sched) {
-  auto fabric = topology::make_big_switch(8, gbps(10));
-  Simulator sim(&fabric.topo, SimLoopMode::kLazy, alloc_mode);
-  if (sched != nullptr) sim.set_scheduler(sched);
-
-  FuzzOutcome out;
-  sim.add_flow_listener([&out](Simulator&, const netsim::Flow& f) {
-    out.trace.push_back({f.id.value(), f.finish_time});
-  });
-
-  Rng rng(seed);
-  for (int i = 0; i < n; ++i) {
-    const double at = rng.uniform() * 0.5;
-    const auto src = fabric.hosts[rng.uniform_int(fabric.hosts.size())];
-    const auto dst = fabric.hosts[rng.uniform_int(fabric.hosts.size())];
-    const double size = 1e6 * std::exp(2.0 * rng.normal());
-    sim.schedule_at(at, [src, dst, size, i](Simulator& s) {
-      netsim::FlowSpec spec;
-      spec.src = src;
-      spec.dst = dst;
-      spec.size = size;
-      spec.label = "t" + std::to_string(i);
-      s.submit_flow(std::move(spec));
-    });
-    sim.schedule_at(rng.uniform() * 0.7, [](Simulator&) {});
-  }
-
-  if (capacity_churn) {
-    // Degrade a random host port at a random instant, restore it later.
-    // Mutating the topology from a timer models mid-run failures; the
-    // simulator is told via invalidate_allocation(), and the incremental
-    // allocator must additionally notice through its capacity-epoch
-    // fingerprint that every cached record is stale.
-    topology::Topology* topo = &fabric.topo;
-    for (int k = 0; k < 6; ++k) {
-      const auto lid = LinkId{rng.uniform_int(fabric.topo.link_count())};
-      const double full = fabric.topo.link(lid).capacity;
-      const double degraded = full * (0.25 + 0.5 * rng.uniform());
-      const double t_fail = 0.05 + rng.uniform() * 0.3;
-      const double t_heal = t_fail + 0.05 + rng.uniform() * 0.2;
-      sim.schedule_at(t_fail, [topo, lid, degraded](Simulator& s) {
-        topo->set_link_capacity(lid, degraded);
-        s.invalidate_allocation();
-      });
-      sim.schedule_at(t_heal, [topo, lid, full](Simulator& s) {
-        topo->set_link_capacity(lid, full);
-        s.invalidate_allocation();
-      });
-    }
-  }
-
-  sim.run();
-  EXPECT_EQ(sim.active_flow_count(), 0u);
-  out.alloc_stats = sim.alloc_stats();
-  return out;
-}
-
 TEST(AllocFuzz, FairSharingBitIdenticalTraces) {
   for (const std::uint64_t seed : {3u, 17u, 41u, 2026u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const auto inc = run_fuzz_scenario(AllocMode::kIncremental, seed, 60,
-                                       false, nullptr);
-    const auto full = run_fuzz_scenario(AllocMode::kFullRecompute, seed, 60,
-                                        false, nullptr);
+    const auto inc = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kIncremental, .flows = 60});
+    const auto full = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kFullRecompute, .flows = 60});
     EXPECT_EQ(inc.trace, full.trace);
     EXPECT_EQ(inc.trace.size(), 60u);
     // Non-vacuous: the incremental run must have served components from its
@@ -333,10 +132,10 @@ TEST(AllocFuzz, SrptCapChurnBitIdenticalTraces) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     ef::SrptScheduler a;
     ef::SrptScheduler b;
-    const auto inc =
-        run_fuzz_scenario(AllocMode::kIncremental, seed, 50, false, &a);
-    const auto full =
-        run_fuzz_scenario(AllocMode::kFullRecompute, seed, 50, false, &b);
+    const auto inc = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kIncremental, .flows = 50, .sched = &a});
+    const auto full = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kFullRecompute, .flows = 50, .sched = &b});
     EXPECT_EQ(inc.trace, full.trace);
     EXPECT_GT(inc.alloc_stats.components_reused, 0u);
   }
@@ -345,10 +144,12 @@ TEST(AllocFuzz, SrptCapChurnBitIdenticalTraces) {
 TEST(AllocFuzz, RuntimeCapacityChurnBitIdenticalTraces) {
   for (const std::uint64_t seed : {29u, 404u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const auto inc = run_fuzz_scenario(AllocMode::kIncremental, seed, 40,
-                                       true, nullptr);
-    const auto full = run_fuzz_scenario(AllocMode::kFullRecompute, seed, 40,
-                                        true, nullptr);
+    const auto inc = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kIncremental, .flows = 40,
+               .capacity_churn = true});
+    const auto full = eqh::run_sim_scenario(
+        seed, {.alloc = AllocMode::kFullRecompute, .flows = 40,
+               .capacity_churn = true});
     EXPECT_EQ(inc.trace, full.trace);
     EXPECT_EQ(inc.trace.size(), 40u);
   }
@@ -409,21 +210,21 @@ TEST(AllocSteadyState, IncrementalPassesAllocationFree) {
   EXPECT_GT(warm.components_reused, 0u);
   EXPECT_GT(warm.components_filled, 0u);
 
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  eqh::alloc_count_begin();
   for (int pass = 200; pass < 300; ++pass) {
     churn(pass);
     alloc.allocate(p);
   }
-  g_count_allocs.store(false);
+  const std::uint64_t allocs = eqh::alloc_count_end();
 
   // The counted window really did exercise both paths.
   EXPECT_EQ(alloc.stats().components_reused - warm.components_reused, 300u);
   EXPECT_EQ(alloc.stats().components_filled - warm.components_filled, 100u);
 #if ECHELON_ALLOC_HOOK
-  EXPECT_EQ(g_alloc_count.load(), 0u)
+  EXPECT_EQ(allocs, 0u)
       << "steady-state incremental allocate() must not allocate";
 #else
+  (void)allocs;
   GTEST_SKIP() << "allocation hook disabled under this sanitizer";
 #endif
 }

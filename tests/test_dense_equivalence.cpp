@@ -22,16 +22,16 @@
 //   5. The Simulator satellite changes are covered: submit_flow now throws
 //      on unroutable endpoints instead of release-mode UB.
 
-#include <gtest/gtest.h>
+// The allocation-counting operator-new hook (and the ECHELON_ALLOC_HOOK
+// sanitizer gate) live in the shared harness so all three equivalence suites
+// count with the same machinery.
+#include "equivalence_harness.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
-#include <new>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -43,51 +43,6 @@
 #include "echelon/registry.hpp"
 #include "echelon/sincronia.hpp"
 #include "echelon/srpt.hpp"
-#include "netsim/allocator.hpp"
-#include "netsim/simulator.hpp"
-#include "topology/builders.hpp"
-
-// --- allocation-counting hook -----------------------------------------------
-// Replaces the (unaligned) global new/delete with counting versions. Counting
-// is off by default so gtest bookkeeping does not pollute the numbers.
-//
-// The malloc-backed replacements fight the sanitizer allocator interceptors
-// (ASan reports operator-new-vs-free mismatches for allocations that cross
-// the gtest shared-library boundary), so the hook compiles away under
-// ASan/TSan and the zero-allocation assertions become runtime skips. UBSan
-// does not intercept the allocator, so the hook stays live there.
-
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define ECHELON_ALLOC_HOOK 0
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define ECHELON_ALLOC_HOOK 0
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-#if ECHELON_ALLOC_HOOK
-void* operator new(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#endif  // ECHELON_ALLOC_HOOK
 
 namespace echelon {
 namespace {
@@ -1198,14 +1153,12 @@ TEST(ZeroAlloc, ControlAndAllocateSteadyState) {
 #if !ECHELON_ALLOC_HOOK
     GTEST_SKIP() << "allocation-counting hook disabled under ASan/TSan";
 #endif
-    g_alloc_count.store(0, std::memory_order_relaxed);
-    g_count_allocs.store(true, std::memory_order_relaxed);
+    eqh::alloc_count_begin();
     for (int i = 0; i < 5; ++i) {
       sched->control(sim, ptrs);
       alloc.allocate(ptrs);
     }
-    g_count_allocs.store(false, std::memory_order_relaxed);
-    const std::uint64_t n = g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t n = eqh::alloc_count_end();
     EXPECT_EQ(n, 0u) << sched->name()
                      << ": steady-state pass performed heap allocations";
   }

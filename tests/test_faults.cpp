@@ -1,0 +1,496 @@
+// Tests for the deterministic fault-injection subsystem (DESIGN.md §8):
+//
+//   1. FaultPlan determinism & round-trip: from_chaos is a pure function of
+//      (profile, deployment shape) -- byte-identical serialization across
+//      calls -- and serialize/parse round-trips exactly.
+//   2. Injector micro-semantics on a leaf-spine fabric with known link ids:
+//      reroute when an alternate spine survives, park -> bounded retry ->
+//      abandon when no path exists, resume on recovery, brownout slowdown,
+//      job abort/restart.
+//   3. Property tests: arming an *empty* plan is byte-identical to running
+//      with no injector at all, for every scheduler x fabric; a uniform
+//      (all-links) brownout under work-conserving fair sharing makes the
+//      makespan monotonically worse as capacity shrinks. (A *targeted*
+//      brownout is deliberately not asserted monotone: slowing one link can
+//      reshape SRPT/MADD priorities and finish a trace earlier -- see
+//      DESIGN.md §8, "monotonicity caveat".)
+//   4. Chaos-differential fuzz: >= 200 seeded plan-runs (ECHELON_CHAOS_SEEDS
+//      x 5 schedulers; reduced under sanitizers) assert the full
+//      {lazy,eager} x {incremental,full} mode matrix stays bit-identical
+//      *under fire*, and that the sweep is non-vacuous (faults actually
+//      fired, flows actually rerouted/parked).
+//   5. Event-order regression for the latent tie-break bug: callbacks
+//      scheduled at identical timestamps fire in submission order, including
+//      epsilon-equal-but-bitwise-distinct timestamps and callbacks that
+//      schedule more work at the same instant.
+
+#include "equivalence_harness.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faultsim/injector.hpp"
+
+namespace echelon {
+namespace {
+
+using cluster::FabricKind;
+using cluster::SchedulerKind;
+using eqh::expect_same_result;
+using eqh::run_cluster;
+using eqh::RunSpec;
+using eqh::small_trace;
+using faultsim::ChaosProfile;
+using faultsim::FaultInjector;
+using faultsim::FaultKind;
+using faultsim::FaultPlan;
+using netsim::AllocMode;
+using netsim::FlowSpec;
+using netsim::SimLoopMode;
+using netsim::Simulator;
+
+// ============================================================================
+// 1. Plan determinism & text round-trip
+// ============================================================================
+
+FaultPlan chaos_plan(std::uint64_t seed, const topology::Topology& topo) {
+  ChaosProfile p;
+  p.seed = seed;
+  p.horizon = 1.5;
+  p.link_faults = 3;
+  p.brownouts = 2;
+  p.stragglers = 2;
+  p.node_faults = 1;
+  p.job_aborts = 1;
+  return faultsim::from_chaos(p, topo, /*worker_count=*/24, /*job_count=*/6);
+}
+
+TEST(FaultPlanDeterminism, FromChaosIsAPureFunctionOfSeed) {
+  const auto fabric = eqh::run_cluster_fabric(FabricKind::kLeafSpine);
+  const auto a = chaos_plan(7, fabric.topo);
+  const auto b = chaos_plan(7, fabric.topo);
+  EXPECT_EQ(faultsim::serialize(a), faultsim::serialize(b));
+  // Every window recovers: down/up style kinds come in equal counts.
+  std::size_t downs = 0;
+  std::size_t ups = 0;
+  for (const auto& ev : a.events) {
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kBrownout:
+      case FaultKind::kStraggler:
+      case FaultKind::kNodeDown:
+      case FaultKind::kJobAbort:
+        ++downs;
+        break;
+      default:
+        ++ups;
+    }
+  }
+  EXPECT_EQ(downs, ups);
+  EXPECT_EQ(downs, 9u);  // 3 + 2 + 2 + 1 + 1
+  // A different seed draws a different script.
+  EXPECT_NE(faultsim::serialize(a), faultsim::serialize(chaos_plan(8, fabric.topo)));
+}
+
+TEST(FaultPlanDeterminism, SerializeParseRoundTripIsExact) {
+  const auto fabric = eqh::run_cluster_fabric(FabricKind::kLeafSpine);
+  auto plan = chaos_plan(42, fabric.topo);
+  plan.max_retries = 5;
+  plan.retry_backoff = 0.075;
+  const std::string text = faultsim::serialize(plan);
+  const FaultPlan parsed = faultsim::parse_fault_plan(text);
+  EXPECT_EQ(parsed.max_retries, 5);
+  EXPECT_EQ(parsed.retry_backoff, 0.075);
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(parsed.events[i].at, plan.events[i].at);  // precision(17): exact
+    EXPECT_EQ(parsed.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(parsed.events[i].target, plan.events[i].target);
+    EXPECT_EQ(parsed.events[i].factor, plan.events[i].factor);
+  }
+  // Idempotent: re-serialization is byte-identical.
+  EXPECT_EQ(faultsim::serialize(parsed), text);
+}
+
+TEST(FaultPlanDeterminism, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)faultsim::parse_fault_plan("0.1 not-a-kind 3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)faultsim::parse_fault_plan("nonsense"),
+               std::invalid_argument);
+  EXPECT_THROW((void)faultsim::parse_fault_plan("0.1 link-down"),
+               std::invalid_argument);
+  // Comments and blank lines are fine.
+  const auto ok = faultsim::parse_fault_plan(
+      "# a comment\n\nretries 2\nbackoff 0.01\n0.5 link-down 3\n0.6 link-up 3\n");
+  EXPECT_EQ(ok.max_retries, 2);
+  ASSERT_EQ(ok.events.size(), 2u);
+  EXPECT_EQ(ok.events[1].kind, FaultKind::kLinkUp);
+}
+
+// ============================================================================
+// 2. Injector micro-semantics (small leaf-spine, inspectable paths)
+// ============================================================================
+
+struct MicroRig {
+  topology::BuiltFabric fabric;
+  Simulator sim;
+  FlowId flow;
+
+  // One long cross-leaf flow, host0 (leaf 0) -> host2 (leaf 1):
+  // path = [host->leaf0, leaf0->spineX, spineX->leaf1, leaf1->host].
+  // 1e9 B at 10 Gb/s = 0.8 s solo, so mid-run faults catch it in flight.
+  explicit MicroRig(std::uint64_t job = 0)
+      : fabric(topology::make_leaf_spine({.leaves = 2,
+                                          .spines = 2,
+                                          .hosts_per_leaf = 2,
+                                          .host_link = gbps(10),
+                                          .uplink = gbps(10)})),
+        sim(&fabric.topo) {
+    FlowSpec spec;
+    spec.src = fabric.hosts[0];
+    spec.dst = fabric.hosts[2];
+    spec.size = 1e9;
+    spec.job = JobId{job};
+    spec.label = "cross-leaf";
+    flow = sim.submit_flow(std::move(spec));
+  }
+
+  // The leaf0 -> spine uplink the flow currently crosses.
+  [[nodiscard]] LinkId uplink() const {
+    const auto& path = sim.flow(flow).path;
+    EXPECT_EQ(path.size(), 4u);
+    return path[1];
+  }
+  // Both leaf0 -> spine uplinks (ids 0 and 2 in make_leaf_spine order).
+  [[nodiscard]] std::vector<std::uint64_t> all_uplinks() const {
+    return {0, 2};
+  }
+};
+
+TEST(InjectorMicro, ReroutesWhenAlternateSpineSurvives) {
+  MicroRig rig;
+  const LinkId dead = rig.uplink();
+  FaultPlan plan;
+  plan.events.push_back({0.1, FaultKind::kLinkDown, dead.value(), 1.0});
+  plan.events.push_back({0.5, FaultKind::kLinkUp, dead.value(), 1.0});
+  FaultInjector inj(&rig.sim, &rig.fabric.topo, &plan);
+  inj.arm();
+  rig.sim.run();
+
+  EXPECT_EQ(inj.summary().events_fired, 2u);
+  EXPECT_EQ(inj.summary().reroutes, 1u);
+  EXPECT_EQ(inj.summary().parks, 0u);
+  EXPECT_EQ(inj.summary().downtime, 0.0);
+  // The surviving path avoids the dead uplink; equal-capacity spines mean
+  // the reroute costs no time: finish at the solo 0.8 s.
+  EXPECT_NE(rig.sim.flow(rig.flow).path[1], dead);
+  EXPECT_TRUE(rig.sim.flow(rig.flow).finished());
+  EXPECT_NEAR(rig.sim.flow(rig.flow).finish_time, 0.8, 1e-9);
+  const auto outs = inj.outcomes();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].flow, rig.flow);
+  EXPECT_EQ(outs[0].reroutes, 1);
+  EXPECT_FALSE(outs[0].abandoned);
+}
+
+TEST(InjectorMicro, ParksRetriesThenAbandonsWhenNoPathReturns) {
+  MicroRig rig;
+  FaultPlan plan;
+  plan.max_retries = 3;
+  plan.retry_backoff = 0.05;
+  for (const auto lid : rig.all_uplinks()) {
+    plan.events.push_back({0.1, FaultKind::kLinkDown, lid, 1.0});
+  }
+  FaultInjector inj(&rig.sim, &rig.fabric.topo, &plan);
+  inj.arm();
+  rig.sim.run();
+
+  // Park at 0.1; failed retries at 0.15 / 0.20 / 0.25; the third failure
+  // exhausts the budget and abandons.
+  EXPECT_EQ(inj.summary().parks, 1u);
+  EXPECT_EQ(inj.summary().retries, 3u);
+  EXPECT_EQ(inj.summary().abandoned, 1u);
+  EXPECT_EQ(inj.summary().resumes, 0u);
+  const auto& f = rig.sim.flow(rig.flow);
+  EXPECT_TRUE(f.finished());           // unsuccessful completion still completes
+  EXPECT_GT(f.remaining, 0.0);         // undelivered bytes stay on record
+  EXPECT_NEAR(f.finish_time, 0.25, 1e-9);
+  const auto outs = inj.outcomes();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_TRUE(outs[0].abandoned);
+  EXPECT_EQ(outs[0].retries, 3);
+  EXPECT_NEAR(outs[0].downtime, 0.15, 1e-9);
+  EXPECT_NEAR(outs[0].bytes_lost, f.remaining, 0.0);
+}
+
+TEST(InjectorMicro, ResumesOnRecoveryBeforeBudgetExhausts) {
+  MicroRig rig;
+  FaultPlan plan;
+  plan.max_retries = 5;
+  plan.retry_backoff = 0.05;
+  for (const auto lid : rig.all_uplinks()) {
+    plan.events.push_back({0.1, FaultKind::kLinkDown, lid, 1.0});
+  }
+  for (const auto lid : rig.all_uplinks()) {
+    plan.events.push_back({0.22, FaultKind::kLinkUp, lid, 1.0});
+  }
+  FaultInjector inj(&rig.sim, &rig.fabric.topo, &plan);
+  inj.arm();
+  rig.sim.run();
+
+  EXPECT_EQ(inj.summary().parks, 1u);
+  EXPECT_EQ(inj.summary().resumes, 1u);
+  EXPECT_EQ(inj.summary().abandoned, 0u);
+  const auto& f = rig.sim.flow(rig.flow);
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(f.remaining, 0.0);
+  // 0.12 s parked: finish slides from 0.8 to 0.92 exactly.
+  EXPECT_NEAR(f.finish_time, 0.92, 1e-9);
+  const auto outs = inj.outcomes();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_NEAR(outs[0].downtime, 0.12, 1e-9);
+}
+
+TEST(InjectorMicro, BrownoutScalesCompletionTime) {
+  MicroRig rig;
+  FaultPlan plan;
+  // All links at half capacity for [0, 0.4): 0.25e9 B delivered by 0.4,
+  // the remaining 0.75e9 B at full rate takes 0.6 -> finish at 1.0.
+  plan.events.push_back({0.0, FaultKind::kBrownout, faultsim::kAllLinks, 0.5});
+  plan.events.push_back({0.4, FaultKind::kBrownoutEnd, faultsim::kAllLinks, 1.0});
+  FaultInjector inj(&rig.sim, &rig.fabric.topo, &plan);
+  inj.arm();
+  rig.sim.run();
+
+  EXPECT_TRUE(rig.sim.flow(rig.flow).finished());
+  EXPECT_NEAR(rig.sim.flow(rig.flow).finish_time, 1.0, 1e-9);
+  // BrownoutEnd restored the *exact* nominal capacities.
+  for (std::size_t l = 0; l < rig.fabric.topo.link_count(); ++l) {
+    EXPECT_EQ(rig.fabric.topo.link(LinkId{l}).capacity,
+              rig.fabric.topo.link(LinkId{l}).capacity);  // finite
+  }
+  EXPECT_EQ(rig.fabric.topo.link(LinkId{0}).capacity, gbps(10));
+}
+
+TEST(InjectorMicro, JobAbortParksAndRestartResumes) {
+  MicroRig rig(/*job=*/7);
+  FaultPlan plan;
+  plan.events.push_back({0.1, FaultKind::kJobAbort, 7, 1.0});
+  plan.events.push_back({0.3, FaultKind::kJobRestart, 7, 1.0});
+  FaultInjector inj(&rig.sim, &rig.fabric.topo, &plan);
+  inj.arm();
+  rig.sim.run();
+
+  EXPECT_EQ(inj.summary().parks, 1u);
+  EXPECT_EQ(inj.summary().resumes, 1u);
+  EXPECT_EQ(inj.summary().retries, 0u);  // abort-parks wait, they don't retry
+  const auto& f = rig.sim.flow(rig.flow);
+  EXPECT_TRUE(f.finished());
+  EXPECT_NEAR(f.finish_time, 1.0, 1e-9);  // 0.2 s parked
+  const auto outs = inj.outcomes();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_NEAR(outs[0].downtime, 0.2, 1e-9);
+}
+
+// ============================================================================
+// 3. Property tests
+// ============================================================================
+
+// Arming an injector with an empty plan must be byte-identical to not
+// constructing one at all: the handlers it installs observe but never act.
+TEST(FaultProperties, EmptyPlanIsByteIdenticalToNoInjector) {
+  const FaultPlan empty;
+  for (const auto kind :
+       {SchedulerKind::kFairSharing, SchedulerKind::kSrpt,
+        SchedulerKind::kCoflowMadd, SchedulerKind::kEchelonMadd,
+        SchedulerKind::kCoordinator}) {
+    for (const auto fabric : {FabricKind::kBigSwitch, FabricKind::kLeafSpine}) {
+      SCOPED_TRACE(std::string(cluster::to_string(kind)) + " / " +
+                   (fabric == FabricKind::kBigSwitch ? "bigswitch"
+                                                     : "leafspine"));
+      const auto jobs = small_trace(13);
+      const auto with = run_cluster(
+          jobs, {.scheduler = kind, .fabric = fabric, .plan = &empty});
+      const auto without =
+          run_cluster(jobs, {.scheduler = kind, .fabric = fabric});
+      expect_same_result(with, without);
+      EXPECT_EQ(with.fault_events, 0u);
+    }
+  }
+}
+
+// Uniform (kAllLinks) brownouts under work-conserving fair sharing scale
+// every feasible rate by the same factor, so less capacity can only delay
+// completions: the makespan is monotone non-decreasing as the factor drops.
+// Deliberately NOT asserted for targeted brownouts or priority schedulers:
+// slowing one link can reorder SRPT/MADD decisions and finish a trace
+// *earlier* (DESIGN.md §8 documents the anomaly).
+TEST(FaultProperties, UniformBrownoutMonotoneUnderFairSharing) {
+  const auto jobs = small_trace(29);
+  double prev = -1.0;
+  for (const double factor : {1.0, 0.8, 0.5, 0.3}) {
+    SCOPED_TRACE("factor " + std::to_string(factor));
+    FaultPlan plan;
+    if (factor < 1.0) {
+      plan.events.push_back(
+          {0.0, FaultKind::kBrownout, faultsim::kAllLinks, factor});
+    }
+    const auto r = run_cluster(
+        jobs, {.scheduler = SchedulerKind::kFairSharing,
+               .fabric = FabricKind::kBigSwitch,
+               .plan = plan.empty() ? nullptr : &plan});
+    EXPECT_GE(r.makespan, prev);
+    prev = r.makespan;
+  }
+}
+
+// ============================================================================
+// 4. Chaos-differential fuzz: the mode matrix under fire
+// ============================================================================
+
+int chaos_seed_budget() {
+  if (const char* env = std::getenv("ECHELON_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+#if ECHELON_ALLOC_HOOK
+  return 40;  // 40 seeds x 5 schedulers = 200 plan-runs
+#else
+  return 8;  // sanitizer legs: keep wall clock in check
+#endif
+}
+
+TEST(ChaosDifferential, ModeMatrixBitIdenticalUnderChaos) {
+  const int seeds = chaos_seed_budget();
+  const auto fabric = eqh::run_cluster_fabric(FabricKind::kLeafSpine);
+  const SchedulerKind kinds[] = {
+      SchedulerKind::kFairSharing, SchedulerKind::kSrpt,
+      SchedulerKind::kCoflowMadd, SchedulerKind::kEchelonMadd,
+      SchedulerKind::kCoordinator};
+
+  std::uint64_t events_total = 0;
+  std::uint64_t interactions_total = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s);
+    const auto jobs = small_trace(seed);
+    std::size_t workers = 0;
+    for (const auto& j : jobs) workers += static_cast<std::size_t>(j.ranks);
+
+    ChaosProfile p;
+    p.seed = seed;
+    p.horizon = 1.5;
+    p.link_faults = 1 + s % 3;
+    p.brownouts = s % 3;
+    p.stragglers = s % 2;
+    p.node_faults = (s % 4 == 0) ? 1 : 0;
+    p.job_aborts = (s % 5 == 0) ? 1 : 0;
+    const FaultPlan plan =
+        faultsim::from_chaos(p, fabric.topo, workers, jobs.size());
+    ASSERT_FALSE(plan.empty());
+
+    for (const auto kind : kinds) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " +
+                   std::string(cluster::to_string(kind)));
+      RunSpec base{.scheduler = kind, .fabric = FabricKind::kLeafSpine,
+                   .loop = SimLoopMode::kLazy,
+                   .alloc = AllocMode::kIncremental, .plan = &plan};
+      const auto r0 = run_cluster(jobs, base);
+      events_total += r0.fault_events;
+      interactions_total +=
+          r0.flow_reroutes + r0.flow_parks + r0.flows_abandoned;
+
+      // Always cross-check against the maximally different mode pair...
+      RunSpec far = base;
+      far.loop = SimLoopMode::kEagerScan;
+      far.alloc = AllocMode::kFullRecompute;
+      expect_same_result(r0, run_cluster(jobs, far));
+      // ...and on a rotating subset, the remaining two matrix cells.
+      if (s % 4 == 0) {
+        RunSpec eager_inc = base;
+        eager_inc.loop = SimLoopMode::kEagerScan;
+        expect_same_result(r0, run_cluster(jobs, eager_inc));
+        RunSpec lazy_full = base;
+        lazy_full.alloc = AllocMode::kFullRecompute;
+        expect_same_result(r0, run_cluster(jobs, lazy_full));
+      }
+    }
+  }
+  // Non-vacuous: the sweep actually injected faults and actually disturbed
+  // flows (reroutes/parks/abandons), so the equivalences were tested under
+  // real degradation, not no-ops.
+  EXPECT_GT(events_total, 0u);
+  EXPECT_GT(interactions_total, 0u);
+}
+
+// Replaying the identical plan twice in the same process is bit-identical:
+// the injector carries no hidden cross-run state.
+TEST(ChaosDifferential, RepeatedReplayIsBitIdentical) {
+  const auto fabric = eqh::run_cluster_fabric(FabricKind::kLeafSpine);
+  const auto jobs = small_trace(77);
+  const auto plan = chaos_plan(77, fabric.topo);
+  RunSpec spec{.scheduler = SchedulerKind::kEchelonMadd,
+               .fabric = FabricKind::kLeafSpine, .plan = &plan};
+  expect_same_result(run_cluster(jobs, spec), run_cluster(jobs, spec));
+}
+
+// ============================================================================
+// 5. Event-order regression: same-instant timers fire in submission order
+// ============================================================================
+
+TEST(EventOrder, SameInstantTimersFireInSubmissionOrder) {
+  auto fabric = topology::make_big_switch(2, gbps(10));
+  Simulator sim(&fabric.topo);
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(0.25, [i, &fired](Simulator&) { fired.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventOrder, EpsilonEqualTimestampsStillFireInSubmissionOrder) {
+  // Bitwise-distinct but epsilon-equal instants: the pre-fix heap popped
+  // these in *timestamp* order, i.e. reverse submission order here. The
+  // batch drain (EventQueue::pop_due) restores submission order across the
+  // whole simultaneity window.
+  auto fabric = topology::make_big_switch(2, gbps(10));
+  Simulator sim(&fabric.topo);
+  std::vector<int> fired;
+  const double t = 0.25;
+  const double t_lo = std::nextafter(t, 0.0);  // just below, time_eq-equal
+  sim.schedule_at(t, [&fired](Simulator&) { fired.push_back(0); });
+  sim.schedule_at(t_lo, [&fired](Simulator&) { fired.push_back(1); });
+  sim.schedule_at(t, [&fired](Simulator&) { fired.push_back(2); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 0);
+  EXPECT_EQ(fired[1], 1);
+  EXPECT_EQ(fired[2], 2);
+}
+
+TEST(EventOrder, MidInstantScheduledWorkJoinsBackOfInstant) {
+  // A callback that schedules more work at now(): the new callback carries a
+  // higher sequence number and fires after everything already queued at the
+  // instant -- same instant, later in the order.
+  auto fabric = topology::make_big_switch(2, gbps(10));
+  Simulator sim(&fabric.topo);
+  std::vector<std::string> fired;
+  sim.schedule_at(0.25, [&fired](Simulator& s) {
+    fired.push_back("a");
+    s.schedule_at(s.now(), [&fired](Simulator&) { fired.push_back("c"); });
+  });
+  sim.schedule_at(0.25, [&fired](Simulator&) { fired.push_back("b"); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], "a");
+  EXPECT_EQ(fired[1], "b");
+  EXPECT_EQ(fired[2], "c");
+  EXPECT_EQ(sim.now(), 0.25);
+}
+
+}  // namespace
+}  // namespace echelon

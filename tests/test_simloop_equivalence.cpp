@@ -7,7 +7,7 @@
 // evaluate exactly the same floating-point expressions on exactly the same
 // operands at every observation point -- reallocation stamps, completion
 // instants, deadline drains and callback ordering. This suite keeps them
-// honest:
+// honest (shared scaffolding lives in tests/equivalence_harness.hpp):
 //
 //   1. Randomized cluster experiments across all five SchedulerKinds on both
 //      big-switch and leaf-spine fabrics assert bit-identical
@@ -21,269 +21,80 @@
 //      the serial ordering, including with per-job compute jitter (per-job
 //      seeded RNG, so thread assignment cannot leak into results), and
 //      exceptions surface as in a serial loop (lowest index first).
-//   4. An allocation-counting operator-new hook proves steady-state event
-//      iterations (timer firing + rescheduling with live flows) perform zero
-//      heap allocations: pooled EventQueue slots, pooled timer callbacks,
-//      no per-event byte sweeps.
+//   4. The harness's allocation-counting operator-new hook proves
+//      steady-state event iterations (timer firing + rescheduling with live
+//      flows) perform zero heap allocations: pooled EventQueue slots, pooled
+//      timer callbacks, no per-event byte sweeps.
 //   5. The shared completion tail: zero-byte flows complete instantly with
 //      the canonical callback-before-listener order and never enter the
 //      active set.
 
-#include <gtest/gtest.h>
+#include "equivalence_harness.hpp"
 
 #include <atomic>
-#include <cmath>
-#include <cstdlib>
-#include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cluster/sweep.hpp"
-#include "cluster/trace.hpp"
-#include "common/rng.hpp"
 #include "echelon/srpt.hpp"
-#include "netsim/simulator.hpp"
-#include "topology/builders.hpp"
-#include "workload/paradigm.hpp"
-
-// --- allocation-counting hook -----------------------------------------------
-// Replaces the (unaligned) global new/delete with counting versions. Counting
-// is off by default so gtest bookkeeping does not pollute the numbers.
-//
-// Disabled under ASan/TSan: the malloc-backed replacements fight the
-// sanitizer allocator interceptors (operator-new-vs-free mismatch reports
-// for allocations crossing the gtest shared-library boundary). The
-// zero-allocation assertion becomes a runtime skip there; UBSan keeps the
-// hook live.
-
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define ECHELON_ALLOC_HOOK 0
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define ECHELON_ALLOC_HOOK 0
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-#else
-#define ECHELON_ALLOC_HOOK 1
-#endif
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-#if ECHELON_ALLOC_HOOK
-void* operator new(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#endif  // ECHELON_ALLOC_HOOK
 
 namespace echelon {
 namespace {
 
 using cluster::ExperimentConfig;
-using cluster::ExperimentResult;
-using cluster::FabricKind;
 using cluster::SchedulerKind;
+using eqh::expect_same_result;
+using eqh::run_cluster;
+using eqh::RunSpec;
+using eqh::small_trace;
 using netsim::SimLoopMode;
 using netsim::Simulator;
-
-// ============================================================================
-// Helpers
-// ============================================================================
-
-// Bitwise double equality (0.0 vs -0.0 and NaN-safe is not needed here: the
-// simulator never produces either at an observation point; plain == gives
-// the strictest portable check with readable gtest failure output).
-#define EXPECT_BITEQ(a, b) EXPECT_EQ(a, b)
-
-void expect_same_result(const ExperimentResult& lazy,
-                        const ExperimentResult& eager) {
-  EXPECT_EQ(lazy.scheduler_name, eager.scheduler_name);
-  EXPECT_BITEQ(lazy.makespan, eager.makespan);
-  EXPECT_BITEQ(lazy.total_tardiness, eager.total_tardiness);
-  EXPECT_BITEQ(lazy.weighted_total_tardiness, eager.weighted_total_tardiness);
-  EXPECT_EQ(lazy.control_invocations, eager.control_invocations);
-  EXPECT_EQ(lazy.heuristic_runs, eager.heuristic_runs);
-  EXPECT_EQ(lazy.reuse_hits, eager.reuse_hits);
-  // wall_ms is host timing: nondeterministic by nature, excluded.
-  ASSERT_EQ(lazy.jobs.size(), eager.jobs.size());
-  for (std::size_t j = 0; j < lazy.jobs.size(); ++j) {
-    const auto& a = lazy.jobs[j];
-    const auto& b = eager.jobs[j];
-    EXPECT_EQ(a.job, b.job);
-    EXPECT_EQ(a.description, b.description);
-    EXPECT_BITEQ(a.arrival, b.arrival);
-    EXPECT_BITEQ(a.finish, b.finish);
-    EXPECT_BITEQ(a.mean_gpu_idle_fraction, b.mean_gpu_idle_fraction);
-    ASSERT_EQ(a.iteration_times.size(), b.iteration_times.size());
-    for (std::size_t k = 0; k < a.iteration_times.size(); ++k) {
-      EXPECT_BITEQ(a.iteration_times[k], b.iteration_times[k]);
-    }
-  }
-}
-
-std::vector<cluster::JobSpec> small_trace(std::uint64_t seed,
-                                          double jitter = 0.0) {
-  cluster::TraceConfig tcfg;
-  tcfg.num_jobs = 6;
-  tcfg.seed = seed;
-  tcfg.arrival_rate = 3.0;
-  tcfg.iterations = 2;
-  tcfg.min_width = 1024;
-  tcfg.max_width = 2048;
-  tcfg.rank_choices = {2, 4};
-  auto jobs = cluster::generate_trace(tcfg);
-  if (jitter > 0.0) {
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      jobs[j].compute_jitter = jitter;
-      jobs[j].jitter_seed = seed * 1000 + j;  // per-job stream
-    }
-  }
-  return jobs;
-}
-
-ExperimentResult run_mode(const std::vector<cluster::JobSpec>& jobs,
-                          SchedulerKind kind, FabricKind fabric,
-                          SimLoopMode mode) {
-  ExperimentConfig cfg;
-  cfg.scheduler = kind;
-  cfg.fabric = fabric;
-  cfg.hosts = 16;
-  cfg.port_capacity = gbps(25);
-  cfg.oversubscription = fabric == FabricKind::kLeafSpine ? 2.0 : 1.0;
-  cfg.loop_mode = mode;
-  return cluster::run_experiment(jobs, cfg);
-}
 
 // ============================================================================
 // 1. Cluster-level golden equivalence: all schedulers x both fabrics
 // ============================================================================
 
-class LazyVsEager
-    : public ::testing::TestWithParam<std::tuple<SchedulerKind, FabricKind>> {
-};
+using LazyVsEager = eqh::SchedFabricTest;
 
 TEST_P(LazyVsEager, BitIdenticalExperimentResults) {
   const auto [kind, fabric] = GetParam();
   for (const std::uint64_t seed : {11u, 23u, 47u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const auto jobs = small_trace(seed);
-    expect_same_result(run_mode(jobs, kind, fabric, SimLoopMode::kLazy),
-                       run_mode(jobs, kind, fabric, SimLoopMode::kEagerScan));
+    RunSpec lazy{.scheduler = kind, .fabric = fabric,
+                 .loop = SimLoopMode::kLazy};
+    RunSpec eager{.scheduler = kind, .fabric = fabric,
+                  .loop = SimLoopMode::kEagerScan};
+    expect_same_result(run_cluster(jobs, lazy), run_cluster(jobs, eager));
   }
 }
 
 TEST_P(LazyVsEager, BitIdenticalWithComputeJitter) {
   const auto [kind, fabric] = GetParam();
   const auto jobs = small_trace(7, /*jitter=*/0.05);
-  expect_same_result(run_mode(jobs, kind, fabric, SimLoopMode::kLazy),
-                     run_mode(jobs, kind, fabric, SimLoopMode::kEagerScan));
+  RunSpec lazy{.scheduler = kind, .fabric = fabric,
+               .loop = SimLoopMode::kLazy};
+  RunSpec eager{.scheduler = kind, .fabric = fabric,
+                .loop = SimLoopMode::kEagerScan};
+  expect_same_result(run_cluster(jobs, lazy), run_cluster(jobs, eager));
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllSchedulersBothFabrics, LazyVsEager,
-    ::testing::Combine(::testing::Values(SchedulerKind::kFairSharing,
-                                         SchedulerKind::kSrpt,
-                                         SchedulerKind::kCoflowMadd,
-                                         SchedulerKind::kEchelonMadd,
-                                         SchedulerKind::kCoordinator),
-                       ::testing::Values(FabricKind::kBigSwitch,
-                                         FabricKind::kLeafSpine)),
-    [](const auto& info) {
-      std::string name = cluster::to_string(std::get<0>(info.param));
-      for (char& c : name) {
-        if (c == '-') c = '_';
-      }
-      name += std::get<1>(info.param) == FabricKind::kBigSwitch
-                  ? "_bigswitch"
-                  : "_leafspine";
-      return name;
-    });
+ECHELON_INSTANTIATE_SCHED_FABRIC(LazyVsEager);
 
 // ============================================================================
 // 2. Simulator-level event-trace equivalence
 // ============================================================================
 
-struct TraceEvent {
-  std::uint64_t flow;
-  double finish;
-  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
-};
-
-// Randomized scenario: `n` flows submitted at staggered times via timers,
-// random endpoints and sizes, plus no-op timers sprinkled in between (they
-// force event iterations that must not perturb byte accounting). Returns the
-// exact completion trace.
-std::vector<TraceEvent> run_trace_scenario(SimLoopMode mode,
-                                           std::uint64_t seed, int n,
-                                           bool stepped,
-                                           netsim::NetworkScheduler* sched) {
-  auto fabric = topology::make_big_switch(8, gbps(10));
-  Simulator sim(&fabric.topo, mode);
-  if (sched != nullptr) sim.set_scheduler(sched);
-
-  std::vector<TraceEvent> trace;
-  sim.add_flow_listener([&trace](Simulator&, const netsim::Flow& f) {
-    trace.push_back({f.id.value(), f.finish_time});
-  });
-
-  Rng rng(seed);
-  for (int i = 0; i < n; ++i) {
-    const double at = rng.uniform() * 0.5;
-    // Occasional src == dst collisions are deliberate: loopback flows get an
-    // infinite rate and exercise the post-reallocation retirement sweep.
-    const auto src = fabric.hosts[rng.uniform_int(fabric.hosts.size())];
-    const auto dst = fabric.hosts[rng.uniform_int(fabric.hosts.size())];
-    const double size = 1e6 * std::exp(2.0 * rng.normal());
-    sim.schedule_at(at, [src, dst, size, i](Simulator& s) {
-      netsim::FlowSpec spec;
-      spec.src = src;
-      spec.dst = dst;
-      spec.size = size;
-      spec.label = "t" + std::to_string(i);
-      s.submit_flow(std::move(spec));
-    });
-    // No-op timer at an unrelated instant: forces an event iteration with no
-    // allocation change.
-    sim.schedule_at(rng.uniform() * 0.7, [](Simulator&) {});
-  }
-
-  if (stepped) {
-    // Uneven deadline stepping exercises the deadline-stamp path: progress
-    // must be materialized exactly so the resumed run continues bit-for-bit.
-    double t = 0.0;
-    Rng step_rng(seed ^ 0x9e3779b97f4a7c15ull);
-    for (int k = 0; k < 40; ++k) {
-      t += 0.01 + 0.05 * step_rng.uniform();
-      sim.run(t);
-    }
-  }
-  sim.run();
-  EXPECT_EQ(sim.active_flow_count(), 0u);
-  return trace;
-}
-
 TEST(SimLoopTrace, FairSharingBitIdentical) {
   for (const std::uint64_t seed : {3u, 17u, 2026u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const auto lazy =
-        run_trace_scenario(SimLoopMode::kLazy, seed, 60, false, nullptr);
-    const auto eager =
-        run_trace_scenario(SimLoopMode::kEagerScan, seed, 60, false, nullptr);
-    EXPECT_EQ(lazy, eager);
-    EXPECT_EQ(lazy.size(), 60u);
+    const auto lazy = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kLazy, .flows = 60});
+    const auto eager = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kEagerScan, .flows = 60});
+    EXPECT_EQ(lazy.trace, eager.trace);
+    EXPECT_EQ(lazy.trace.size(), 60u);
   }
 }
 
@@ -292,22 +103,22 @@ TEST(SimLoopTrace, SrptBitIdentical) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     ef::SrptScheduler a;
     ef::SrptScheduler b;
-    const auto lazy =
-        run_trace_scenario(SimLoopMode::kLazy, seed, 50, false, &a);
-    const auto eager =
-        run_trace_scenario(SimLoopMode::kEagerScan, seed, 50, false, &b);
-    EXPECT_EQ(lazy, eager);
+    const auto lazy = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kLazy, .flows = 50, .sched = &a});
+    const auto eager = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kEagerScan, .flows = 50, .sched = &b});
+    EXPECT_EQ(lazy.trace, eager.trace);
   }
 }
 
 TEST(SimLoopTrace, DeadlineSteppedBitIdentical) {
   for (const std::uint64_t seed : {21u, 1234u}) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    const auto lazy =
-        run_trace_scenario(SimLoopMode::kLazy, seed, 40, true, nullptr);
-    const auto eager =
-        run_trace_scenario(SimLoopMode::kEagerScan, seed, 40, true, nullptr);
-    EXPECT_EQ(lazy, eager);
+    const auto lazy = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kLazy, .flows = 40, .stepped = true});
+    const auto eager = eqh::run_sim_scenario(
+        seed, {.loop = SimLoopMode::kEagerScan, .flows = 40, .stepped = true});
+    EXPECT_EQ(lazy.trace, eager.trace);
   }
 }
 
@@ -421,16 +232,17 @@ TEST(SimLoopAlloc, TimerIterationsAllocationFree) {
   sim.run(0.1);
   const int fired_before = ticker.fired;
 
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  eqh::alloc_count_begin();
   sim.run(0.9);
-  g_count_allocs.store(false);
+  const std::uint64_t allocs = eqh::alloc_count_end();
 
   // The window really was timer-dense.
   EXPECT_GT(ticker.fired, fired_before + 500);
 #if ECHELON_ALLOC_HOOK
-  EXPECT_EQ(g_alloc_count.load(), 0u)
+  EXPECT_EQ(allocs, 0u)
       << "steady-state event iterations must not allocate";
+#else
+  (void)allocs;
 #endif
   sim.run();  // drain cleanly (flows retire at the horizon via deadline stop)
 }

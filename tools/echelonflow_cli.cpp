@@ -20,16 +20,25 @@
 //   --threads N (default 0 = one per hardware thread; 1 = serial)
 //     scheduler comparisons run through cluster::run_sweep; output is
 //     identical for any thread count.
+//   --fault-plan PATH   replay a scripted fault plan (src/faultsim format;
+//                       see DESIGN.md §8) against every scheduler
+//   --chaos N           generate N link faults + N brownouts + N stragglers
+//                       from a seeded profile instead of a plan file
+//   --chaos-seed S (default 1)  --chaos-horizon T seconds (default 2)
+//     fault columns (reroutes/parks/abandoned/downtime) are reported and
+//     written to the CSV whenever fault injection is active.
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "cluster/sweep.hpp"
+#include "faultsim/fault_plan.hpp"
 #include "cluster/trace.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -262,36 +271,92 @@ int cmd_cluster(const Args& args) {
     return 2;
   }
 
+  // Optional fault injection: a scripted plan file, or a seeded chaos
+  // profile drawn against the same fabric shape run_experiment will build.
+  const int hosts = args.geti("hosts", 16);
+  const double cap_gbps = args.getd("gbps", 25.0);
+  faultsim::FaultPlan plan;
+  bool have_plan = false;
+  if (const std::string path = args.get("fault-plan", ""); !path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot read fault plan " << path << "\n";
+      return 2;
+    }
+    try {
+      plan = faultsim::parse_fault_plan(in);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    have_plan = true;
+  } else if (const int chaos = args.geti("chaos", 0); chaos > 0) {
+    faultsim::ChaosProfile profile;
+    profile.seed = static_cast<std::uint64_t>(args.geti("chaos-seed", 1));
+    profile.horizon = args.getd("chaos-horizon", 2.0);
+    profile.link_faults = chaos;
+    profile.brownouts = chaos;
+    profile.stragglers = chaos;
+    const auto fabric = topology::make_big_switch(hosts, gbps(cap_gbps));
+    std::size_t workers = 0;
+    for (const auto& j : jobs) workers += static_cast<std::size_t>(j.ranks);
+    plan = faultsim::from_chaos(profile, fabric.topo, workers, jobs.size());
+    have_plan = true;
+  }
+
   // One sweep point per scheduler, run in parallel (deterministic: results
-  // come back in point order regardless of --threads).
+  // come back in point order regardless of --threads; the plan is read-only
+  // and shared across threads).
   std::vector<cluster::SweepPoint> points;
   points.reserve(kinds.size());
   for (const auto kind : kinds) {
     cluster::ExperimentConfig cfg;
     cfg.scheduler = kind;
-    cfg.hosts = args.geti("hosts", 16);
-    cfg.port_capacity = gbps(args.getd("gbps", 25.0));
+    cfg.hosts = hosts;
+    cfg.port_capacity = gbps(cap_gbps);
+    if (have_plan) cfg.fault_plan = &plan;
     points.push_back({jobs, cfg});
   }
   cluster::SweepOptions opts;
   opts.threads = static_cast<unsigned>(std::max(0, args.geti("threads", 0)));
   const auto results = cluster::run_sweep(points, opts);
 
-  Table t({"scheduler", "mean iter (s)", "p99 iter (s)", "mean JCT (s)",
-           "sum tardiness (s)"});
+  std::vector<std::string> headers = {"scheduler", "mean iter (s)",
+                                      "p99 iter (s)", "mean JCT (s)",
+                                      "sum tardiness (s)"};
+  if (have_plan) {
+    headers.insert(headers.end(),
+                   {"reroutes", "parks", "abandoned", "downtime (s)"});
+  }
+  Table t(headers);
   Csv csv({"scheduler", "mean_iter_s", "p99_iter_s", "mean_jct_s",
-           "sum_tardiness_s", "makespan_s"});
+           "sum_tardiness_s", "makespan_s", "fault_events", "flow_reroutes",
+           "flow_parks", "flow_retries", "flows_abandoned",
+           "flow_downtime_s"});
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     const auto kind = kinds[i];
     const auto& r = results[i];
     const auto iters = r.iteration_samples();
-    t.add_row({std::string(cluster::to_string(kind)),
-               Table::num(iters.mean(), 4), Table::num(iters.p99(), 4),
-               Table::num(r.jct_samples().mean(), 4),
-               Table::num(r.total_tardiness, 3)});
+    std::vector<std::string> row = {std::string(cluster::to_string(kind)),
+                                    Table::num(iters.mean(), 4),
+                                    Table::num(iters.p99(), 4),
+                                    Table::num(r.jct_samples().mean(), 4),
+                                    Table::num(r.total_tardiness, 3)};
+    if (have_plan) {
+      row.push_back(std::to_string(r.flow_reroutes));
+      row.push_back(std::to_string(r.flow_parks));
+      row.push_back(std::to_string(r.flows_abandoned));
+      row.push_back(Table::num(r.flow_downtime, 4));
+    }
+    t.add_row(row);
     csv.add_row({std::string(cluster::to_string(kind)), Csv::num(iters.mean()),
                  Csv::num(iters.p99()), Csv::num(r.jct_samples().mean()),
-                 Csv::num(r.total_tardiness), Csv::num(r.makespan)});
+                 Csv::num(r.total_tardiness), Csv::num(r.makespan),
+                 std::to_string(r.fault_events),
+                 std::to_string(r.flow_reroutes),
+                 std::to_string(r.flow_parks), std::to_string(r.flow_retries),
+                 std::to_string(r.flows_abandoned),
+                 Csv::num(r.flow_downtime)});
   }
   t.print(std::cout);
   if (const std::string path = args.get("csv", ""); !path.empty()) {
