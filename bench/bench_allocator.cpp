@@ -215,6 +215,11 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("echelon_build_type",
                               echelon::benchutil::kBuildType);
   if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  // Behavioural fingerprint of the hot path (allocator cache hit rate,
+  // reallocation counts, ...) so BENCH_hotpath.json timing shifts can be
+  // cross-read against scheduler behaviour (bench_util.hpp).
+  benchmark::AddCustomContext("echelon_metrics",
+                              echelon::benchutil::hotpath_metrics_context());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -10,10 +11,13 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/experiment.hpp"
+#include "cluster/trace.hpp"
 #include "echelon/coflow_madd.hpp"
 #include "echelon/echelon_madd.hpp"
 #include "echelon/registry.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "topology/builders.hpp"
 #include "workload/paradigm.hpp"
 
@@ -50,6 +54,65 @@ inline bool warn_if_not_release() {
                "BENCH_hotpath.json baselines; do not record them.\n",
                kBuildType);
   return true;
+}
+
+// --- metrics context for machine-readable bench output -----------------------
+// BENCH_hotpath.json runs carry an `echelon_metrics` context blob: the
+// scalar instruments (counters + gauges) of a canonical small cluster run,
+// serialized as one JSON object. Timing trajectories can then be cross-read
+// against *behaviour* -- a perf win that coincides with a collapsed
+// allocator cache hit rate is a different story from one with identical
+// counters. Histograms and series are deliberately omitted (too bulky for a
+// context string; export them through --metrics-out instead).
+
+// Serializes a snapshot's counters and gauges as a flat JSON object.
+// Instrument names are dot-separated identifiers (never need escaping).
+inline std::string metrics_snapshot_json(const obs::MetricsSnapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&](const std::string& name, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += value;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    append(name, std::to_string(value));
+  }
+  char buf[32];
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    append(name, buf);
+  }
+  out += '}';
+  return out;
+}
+
+// Runs the canonical small hot-path scenario (a short multi-paradigm
+// cluster trace under EchelonFlow-MADD) with a metrics registry attached
+// and returns its scalar snapshot as JSON. Deterministic: the run is seeded
+// and the one host-timing gauge (run.wall_ms) is stripped, so regenerated
+// BENCH_hotpath.json context blobs diff clean.
+inline std::string hotpath_metrics_context() {
+  cluster::TraceConfig tcfg;
+  tcfg.num_jobs = 6;
+  tcfg.seed = 42;
+  tcfg.arrival_rate = 3.0;
+  tcfg.iterations = 2;
+  const auto jobs = cluster::generate_trace(tcfg);
+
+  obs::MetricsRegistry registry;
+  cluster::ExperimentConfig cfg;
+  cfg.scheduler = cluster::SchedulerKind::kEchelonMadd;
+  cfg.metrics = &registry;
+  (void)cluster::run_experiment(jobs, cfg);
+
+  obs::MetricsSnapshot snap = registry.snapshot();
+  std::erase_if(snap.gauges,
+                [](const auto& g) { return g.first == "run.wall_ms"; });
+  return metrics_snapshot_json(snap);
 }
 
 struct SingleJobResult {

@@ -1,9 +1,9 @@
 #include "cluster/experiment.hpp"
 
 #include <cassert>
-#include <chrono>
 #include <memory>
 
+#include "common/timer.hpp"
 #include "echelon/coflow_madd.hpp"
 #include "echelon/srpt.hpp"
 #include "faultsim/injector.hpp"
@@ -145,6 +145,18 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
   }
   sim.set_scheduler(scheduler);
 
+  // Observability wiring (DESIGN.md §9): read-only emitters, null-guarded at
+  // every site. The coordinator's kHeuristicRun/kReuseHit and the fault
+  // injector's events are control-plane kinds, gated at kCoarse.
+  if (config.trace_sink != nullptr &&
+      config.trace_detail != obs::TraceDetail::kOff) {
+    sim.set_trace(config.trace_sink, config.trace_detail);
+    if (coordinator && config.trace_detail >= obs::TraceDetail::kCoarse) {
+      coordinator->set_trace(config.trace_sink);
+    }
+  }
+  if (config.metrics != nullptr) sim.set_metrics(config.metrics);
+
   // Place and generate every job. Ranks are packed onto consecutive ports
   // (wrapping), so jobs share ports once the cluster is loaded.
   std::vector<LiveJob> live;
@@ -189,6 +201,10 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
   if (config.fault_plan != nullptr) {
     injector = std::make_unique<faultsim::FaultInjector>(&sim, &fabric.topo,
                                                          config.fault_plan);
+    if (config.trace_sink != nullptr &&
+        config.trace_detail >= obs::TraceDetail::kCoarse) {
+      injector->set_trace(config.trace_sink);
+    }
     injector->arm();
   }
 
@@ -199,9 +215,9 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     lj.engine->launch(lj.spec.arrival);
   }
 
-  const auto wall_start = std::chrono::steady_clock::now();
+  const ScopedTimer wall_timer;
   const SimTime end = sim.run();
-  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_ms = wall_timer.elapsed_ms();
 
   // Collect metrics.
   ExperimentResult result;
@@ -214,9 +230,7 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     result.heuristic_runs = coordinator->heuristic_runs();
     result.reuse_hits = coordinator->reuse_hits();
   }
-  result.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
-                                                             wall_start)
-                       .count();
+  result.wall_ms = wall_ms;
   if (injector) {
     const faultsim::FaultSummary& fs = injector->summary();
     result.fault_events = fs.events_fired;
@@ -251,6 +265,67 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     jm.mean_gpu_idle_fraction =
         lj.workers.empty() ? 0.0 : idle / static_cast<double>(lj.workers.size());
     result.jobs.push_back(std::move(jm));
+  }
+
+  // Run-level metrics registry fill (DESIGN.md §9): counters, gauges and
+  // the per-EchelonFlow tardiness distribution the paper's objective
+  // (Eqs. 1-2) is written in terms of. Pure observation -- nothing above
+  // reads the registry.
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.gauge("sim.makespan_s").set(end);
+    m.gauge("run.wall_ms").set(result.wall_ms);
+    m.gauge("echelon.total_tardiness_s").set(result.total_tardiness);
+    m.gauge("echelon.weighted_total_tardiness_s")
+        .set(result.weighted_total_tardiness);
+    m.counter("sim.control_invocations").set(sim.control_invocations());
+    m.counter("sim.flows").set(sim.flow_count());
+
+    const netsim::RateAllocator::Stats& as = sim.alloc_stats();
+    m.counter("alloc.passes").set(as.passes);
+    m.counter("alloc.components").set(as.components);
+    m.counter("alloc.components_reused").set(as.components_reused);
+    m.counter("alloc.components_filled").set(as.components_filled);
+    m.gauge("alloc.cache_hit_rate")
+        .set(as.components == 0
+                 ? 0.0
+                 : static_cast<double>(as.components_reused) /
+                       static_cast<double>(as.components));
+
+    if (coordinator) {
+      m.counter("coordinator.heuristic_runs")
+          .set(coordinator->heuristic_runs());
+      m.counter("coordinator.reuse_hits").set(coordinator->reuse_hits());
+      m.counter("coordinator.deferred_flows")
+          .set(coordinator->deferred_flows());
+    }
+    // Group-cache telemetry of the standalone EchelonFlow-MADD policy (the
+    // coordinator's inner policy is not exposed; its stats are above).
+    if (const auto* em = dynamic_cast<ef::EchelonMaddScheduler*>(policy.get());
+        em != nullptr) {
+      m.counter("group_cache.rebuilds").set(em->cache_rebuilds());
+      m.gauge("group_cache.groups")
+          .set(static_cast<double>(em->cached_group_count()));
+    }
+    if (injector) {
+      const faultsim::FaultSummary& fs = injector->summary();
+      m.counter("fault.events_fired").set(fs.events_fired);
+      m.counter("fault.reroutes").set(fs.reroutes);
+      m.counter("fault.parks").set(fs.parks);
+      m.counter("fault.retries").set(fs.retries);
+      m.counter("fault.resumes").set(fs.resumes);
+      m.counter("fault.abandoned").set(fs.abandoned);
+      m.gauge("fault.downtime_s").set(fs.downtime);
+    }
+
+    obs::Histogram& tard = m.histogram("echelonflow.tardiness_s");
+    for (const ef::EchelonFlow* g : registry->all()) {
+      if (g->complete()) tard.observe(g->tardiness());
+    }
+    obs::Histogram& iter = m.histogram("job.iteration_s");
+    for (const JobMetrics& jm : result.jobs) {
+      for (const Duration it : jm.iteration_times) iter.observe(it);
+    }
   }
   return result;
 }

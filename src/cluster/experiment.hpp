@@ -11,6 +11,8 @@
 #include "echelon/echelon_madd.hpp"
 #include "faultsim/fault_plan.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/coordinator.hpp"
 
 namespace echelon::cluster {
@@ -78,6 +80,21 @@ struct ExperimentConfig {
   // non-null plan with zero events produces byte-identical results to
   // nullptr (proven by tests/test_faults.cpp).
   const faultsim::FaultPlan* fault_plan = nullptr;
+
+  // --- observability (DESIGN.md §9) ---
+  // Optional structured-event sink, threaded into the Simulator, the
+  // RateAllocator, the Coordinator and the FaultInjector. The emitters only
+  // ever *read* simulation state: ExperimentResults with and without a sink
+  // are byte-identical (tests/test_obs.cpp pins this). Must outlive
+  // run_experiment; nullptr (or kOff) means zero extra work.
+  obs::TraceSink* trace_sink = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
+  // Optional metrics registry: the run samples per-link utilization /
+  // active-flow series and flow-completion / queue-depth histograms while it
+  // executes, and run_experiment fills run-level counters and gauges
+  // (allocator cache behaviour, coordinator stats, fault summary, per-group
+  // tardiness histogram) at the end. Same read-only contract as trace_sink.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,

@@ -62,11 +62,30 @@ void parallel_for_indexed(std::size_t n, unsigned threads,
 }
 
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepPoint>& points,
-                                        const SweepOptions& options) {
+                                        const SweepOptions& options,
+                                        SweepCapture* capture) {
   std::vector<ExperimentResult> results(points.size());
+  if (capture == nullptr) {
+    parallel_for_indexed(points.size(), options.threads, [&](std::size_t i) {
+      results[i] = run_experiment(points[i].jobs, points[i].config);
+    });
+    return results;
+  }
+
+  // Metric capture: one registry per point, created and written only on the
+  // worker thread that owns the point (thread-confined -- registries are not
+  // thread-safe, and never shared here). Snapshots land in a pre-sized slot
+  // vector, so the merge below sees them in point order regardless of
+  // completion order.
+  capture->point_metrics.assign(points.size(), obs::MetricsSnapshot{});
   parallel_for_indexed(points.size(), options.threads, [&](std::size_t i) {
-    results[i] = run_experiment(points[i].jobs, points[i].config);
+    ExperimentConfig config = points[i].config;
+    obs::MetricsRegistry local;
+    if (config.metrics == nullptr) config.metrics = &local;
+    results[i] = run_experiment(points[i].jobs, config);
+    capture->point_metrics[i] = config.metrics->snapshot();
   });
+  capture->merged = obs::merge_snapshots(capture->point_metrics);
   return results;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace echelon::cluster {
 
@@ -37,9 +38,27 @@ struct SweepOptions {
   unsigned threads = 0;
 };
 
+// Per-sweep-point metric capture (DESIGN.md §9). When a SweepCapture is
+// passed to run_sweep, every point gets its *own* MetricsRegistry, created
+// and written exclusively on the worker thread that runs the point
+// (thread-confined: registries are not thread-safe and never need to be
+// here). After the pool joins, the per-point snapshots are stored in point
+// order and merged deterministically -- the merged snapshot is identical for
+// any thread count. A point whose config already carries a `metrics`
+// registry keeps it (the caller owns that one; its snapshot is still
+// captured).
+struct SweepCapture {
+  std::vector<obs::MetricsSnapshot> point_metrics;  // [i] <-> points[i]
+  obs::MetricsSnapshot merged;  // counters summed, gauges averaged
+};
+
 // Runs every point and returns results[i] == run_experiment(points[i]).
+// `capture` (optional) receives per-point metrics snapshots plus their
+// deterministic merge; trace sinks, being caller-owned, are attached
+// per-point through each point's config instead.
 [[nodiscard]] std::vector<ExperimentResult> run_sweep(
-    const std::vector<SweepPoint>& points, const SweepOptions& options = {});
+    const std::vector<SweepPoint>& points, const SweepOptions& options = {},
+    SweepCapture* capture = nullptr);
 
 // Deterministic parallel-for underlying run_sweep, exposed for benches whose
 // per-point runner is not run_experiment. Invokes fn(i) for every

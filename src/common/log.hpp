@@ -1,8 +1,14 @@
 // Minimal leveled logging.
 //
-// The simulator is deterministic and single-threaded; logging exists for
-// debugging experiment runs, defaults to warnings-only, and is controlled
-// globally. No allocation happens when a message is filtered out.
+// The simulator itself is deterministic and single-threaded, but experiments
+// run concurrently under cluster::run_sweep's thread pool -- so a log line
+// must reach stderr as ONE write. LogLine assembles the complete line
+// (tag, message, trailing newline) in its own buffer and emits it with a
+// single unformatted std::cerr.write() in the destructor; concurrent lines
+// may interleave with each other in *order* but never mid-line. Logging
+// defaults to warnings-only and is controlled globally. No allocation or
+// formatting happens when a message is filtered out (the ECHELON_LOG macro
+// short-circuits before constructing the LogLine).
 
 #pragma once
 
@@ -19,6 +25,17 @@ inline LogLevel& global_level() noexcept {
   static LogLevel level = LogLevel::kWarn;
   return level;
 }
+
+constexpr std::string_view tag_for(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
 }  // namespace log_detail
 
 inline void set_log_level(LogLevel level) noexcept {
@@ -33,13 +50,24 @@ inline void set_log_level(LogLevel level) noexcept {
 //   ECHELON_LOG(kInfo) << "flow " << id << " finished at " << t;
 class LogLine {
  public:
-  explicit LogLine(LogLevel level, std::string_view tag) {
-    os_ << '[' << tag << "] ";
-    (void)level;
+  // The level determines the line's tag (it used to be ignored -- callers
+  // passed a pre-computed tag alongside it); the macro below has already
+  // established that the level is enabled.
+  explicit LogLine(LogLevel level) {
+    os_ << '[' << log_detail::tag_for(level) << "] ";
   }
-  ~LogLine() { std::cerr << os_.str() << '\n'; }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
+
+  ~LogLine() {
+    // Single write: append the newline to the buffered line first, then hand
+    // the whole thing to cerr in one unformatted call. Two separate stream
+    // operations (message, then '\n') interleave under run_sweep's pool.
+    os_ << '\n';
+    const std::string line = os_.str();
+    std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+    std::cerr.flush();
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -51,24 +79,9 @@ class LogLine {
   std::ostringstream os_;
 };
 
-namespace log_detail {
-constexpr std::string_view tag_for(LogLevel level) noexcept {
-  switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff: return "OFF";
-  }
-  return "?";
-}
-}  // namespace log_detail
-
 #define ECHELON_LOG(level)                                            \
   if (!::echelon::log_enabled(::echelon::LogLevel::level)) {          \
   } else                                                              \
-    ::echelon::LogLine(::echelon::LogLevel::level,                    \
-                       ::echelon::log_detail::tag_for(                \
-                           ::echelon::LogLevel::level))
+    ::echelon::LogLine(::echelon::LogLevel::level)
 
 }  // namespace echelon

@@ -90,6 +90,15 @@ bool FaultInjector::is_parked(FlowId id) const {
 
 void FaultInjector::apply(const FaultEvent& ev) {
   ++summary_.events_fired;
+  if (trace_ != nullptr) {
+    trace_->record(
+        obs::TraceEvent{.kind = obs::TraceKind::kFaultFired,
+                        .t = sim_->now(),
+                        .id = ev.target,
+                        .job = obs::TraceEvent::kNone,
+                        .ctx = static_cast<std::uint64_t>(ev.kind),
+                        .value = ev.factor});
+  }
   ECHELON_LOG(kDebug) << "fault " << to_string(ev.kind) << " target "
                       << ev.target << " at " << sim_->now();
   switch (ev.kind) {
@@ -288,6 +297,15 @@ void FaultInjector::retry(FlowId id) {
   ++rec.attempts;
   ++outcome(id).retries;
   ++summary_.retries;
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent{
+        .kind = obs::TraceKind::kFlowRetry,
+        .t = sim_->now(),
+        .id = id.value(),
+        .job = f.spec.job.value(),
+        .ctx = static_cast<std::uint64_t>(rec.attempts),
+        .value = f.remaining});
+  }
   if (rec.attempts >= plan_->max_retries) {
     abandon(id);
   } else {

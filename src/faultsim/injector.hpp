@@ -23,6 +23,7 @@
 
 #include "faultsim/fault_plan.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/trace.hpp"
 #include "topology/graph.hpp"
 
 namespace echelon::faultsim {
@@ -65,6 +66,14 @@ class FaultInjector {
   // every plan event. Call once, before Simulator::run.
   void arm();
 
+  // Observability (DESIGN.md §9): with a sink attached, every applied plan
+  // event emits kFaultFired (id = target, ctx = FaultKind, value = factor)
+  // and every failed resume attempt emits kFlowRetry (ctx = attempt #).
+  // Read-only; nullptr (the default) detaches and costs one branch per
+  // site. The Simulator's own park/resume/abandon events cover the rest of
+  // the outage lifecycle.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
   [[nodiscard]] const FaultSummary& summary() const noexcept {
     return summary_;
   }
@@ -98,6 +107,7 @@ class FaultInjector {
   netsim::Simulator* sim_;
   topology::Topology* topo_;
   const FaultPlan* plan_;
+  obs::TraceSink* trace_ = nullptr;  // null => zero-cost emission branches
 
   FaultSummary summary_;
   // Dense per-flow outcome table, indexed by FlowId value; `touched` rows

@@ -17,7 +17,7 @@ std::uint32_t RateAllocator::uf_find(std::uint32_t slot) noexcept {
   return slot;
 }
 
-void RateAllocator::allocate(std::span<Flow*> flows) {
+void RateAllocator::allocate(std::span<Flow*> flows, SimTime now) {
   ++pass_;
   ++stats_.passes;
 
@@ -98,6 +98,7 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
   // --- Phase C: per component, reuse the cached converged rates when the
   // inputs are provably unchanged, otherwise water-fill (and re-cache). ---
   stats_.components += comps;
+  const std::uint64_t filled_before = stats_.components_filled;
   for (std::uint32_t c = 0; c < comps; ++c) {
     const std::uint32_t* members = comp_members_.data() + comp_start_[c];
     const std::size_t count = comp_start_[c + 1] - comp_start_[c];
@@ -116,6 +117,19 @@ void RateAllocator::allocate(std::span<Flow*> flows) {
     Flow* f = flows[i];
     f->control_dirty = false;
     if (f->rate != prev_rate_[i]) rate_changed_.push_back(f);
+  }
+
+  // Observability: one event per pass, read-only, behind the null-sink
+  // branch (DESIGN.md §9 no-perturbation contract).
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent{
+        .kind = obs::TraceKind::kAllocPass,
+        .t = now,
+        .id = pass_ - 1,
+        .job = obs::TraceEvent::kNone,
+        .ctx = comps,
+        .value =
+            static_cast<double>(stats_.components_filled - filled_before)});
   }
 }
 

@@ -53,7 +53,9 @@
 #include <span>
 #include <vector>
 
+#include "common/time.hpp"
 #include "netsim/flow.hpp"
+#include "obs/trace.hpp"
 #include "topology/dense.hpp"
 #include "topology/graph.hpp"
 
@@ -85,7 +87,16 @@ class RateAllocator {
   // Overwrites `rate` on every flow in `flows`. Finished flows get rate 0.
   // Non-const: reuses the allocator's internal arenas across calls. Also
   // consumes (clears) every flow's `control_dirty` notification flag.
-  void allocate(std::span<Flow*> flows);
+  // `now` is only used to timestamp the optional kAllocPass trace event;
+  // standalone callers (benchmarks, property tests) can ignore it.
+  void allocate(std::span<Flow*> flows, SimTime now = 0.0);
+
+  // Observability (DESIGN.md §9): with a sink attached, every allocate()
+  // pass emits one kAllocPass event (id = pass index, ctx = components seen
+  // this pass, value = components water-filled this pass; reused = ctx -
+  // value). nullptr (the default) detaches: the emission site reduces to a
+  // single pointer compare and the pass performs no extra work.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
 
   [[nodiscard]] AllocMode mode() const noexcept { return mode_; }
 
@@ -171,6 +182,7 @@ class RateAllocator {
   AllocMode mode_;
   Stats stats_;
   std::uint64_t pass_ = 0;
+  obs::TraceSink* trace_ = nullptr;  // null => zero-cost emission branch
 
   // --- reusable arenas (allocation-free after warm-up) ---
   topology::LinkScratch<LinkLoad> links_;

@@ -55,6 +55,67 @@ void Simulator::set_scheduler(NetworkScheduler* scheduler) noexcept {
   allocation_dirty_ = true;
 }
 
+void Simulator::set_trace(obs::TraceSink* sink,
+                          obs::TraceDetail detail) noexcept {
+  trace_ = sink;
+  trace_detail_ = sink == nullptr ? obs::TraceDetail::kOff : detail;
+  // The allocator emits kAllocPass, a control-plane (kCoarse) event.
+  allocator_.set_trace(
+      trace_detail_ >= obs::TraceDetail::kCoarse ? sink : nullptr);
+}
+
+void Simulator::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_flow_completion_ = nullptr;
+    m_queue_depth_ = nullptr;
+    m_active_flows_ = nullptr;
+    m_link_util_.clear();
+    link_rate_scratch_.clear();
+    return;
+  }
+  m_flow_completion_ = &registry->histogram("flow.completion_s");
+  m_queue_depth_ = &registry->histogram(
+      "worker.queue_depth",
+      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  m_active_flows_ = &registry->series("sim.active_flows");
+  m_link_util_.clear();
+  m_link_util_.reserve(topo_->link_count());
+  for (std::size_t i = 0; i < topo_->link_count(); ++i) {
+    m_link_util_.push_back(
+        &registry->series("link." + std::to_string(i) + ".util"));
+  }
+  link_rate_scratch_.assign(topo_->link_count(), 0.0);
+}
+
+void Simulator::trace_flow(obs::TraceKind kind, const Flow& f, double value,
+                           std::string_view label) {
+  trace_->record(obs::TraceEvent{.kind = kind,
+                                 .t = now_,
+                                 .id = f.id.value(),
+                                 .job = f.spec.job.value(),
+                                 .ctx = f.spec.group.value(),
+                                 .value = value},
+                 label);
+}
+
+void Simulator::sample_metrics() {
+  m_active_flows_->sample(now_, static_cast<double>(active_flows_.size()));
+  // Per-link utilization: sum of allocated rates over the nominal capacity.
+  // O(active * path_len), but only ever reached with a registry attached.
+  std::fill(link_rate_scratch_.begin(), link_rate_scratch_.end(), 0.0);
+  for (FlowId id : active_flows_) {
+    const Flow& f = flows_.at(id.value());
+    if (f.rate <= 0.0 || std::isinf(f.rate)) continue;
+    for (const LinkId lid : f.path) link_rate_scratch_[lid.value()] += f.rate;
+  }
+  for (std::size_t i = 0; i < link_rate_scratch_.size(); ++i) {
+    const double cap = topo_->links()[i].capacity;
+    m_link_util_[i]->sample(
+        now_, cap > 0.0 ? link_rate_scratch_[i] / cap : 0.0);
+  }
+}
+
 WorkerId Simulator::add_worker(NodeId host, std::string name) {
   const WorkerId id{workers_.size()};
   if (name.empty()) name = "w" + std::to_string(id.value());
@@ -75,6 +136,9 @@ TaskId Simulator::enqueue_task(WorkerId worker, Duration duration,
   task_done_.push_back(std::move(on_done));
   Worker& w = workers_.at(worker.value());
   w.queue.push_back(id);
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->observe(static_cast<double>(w.queue.size()));
+  }
   if (w.idle()) start_next_task(worker);
   return id;
 }
@@ -93,6 +157,15 @@ void Simulator::start_next_task(WorkerId worker) {
   t.duration *= w.compute_scale;
   w.running = id;
   w.first_start = std::min(w.first_start, now_);
+  if (tracing(obs::TraceDetail::kFlow)) {
+    trace_->record(obs::TraceEvent{.kind = obs::TraceKind::kTaskStart,
+                                   .t = now_,
+                                   .id = id.value(),
+                                   .job = t.job.value(),
+                                   .ctx = worker.value(),
+                                   .value = t.duration},
+                   t.label);
+  }
   // [this, id] fits std::function's small-object buffer: no allocation.
   events_.schedule(now_ + t.duration, [this, id] { finish_task(id); });
 }
@@ -104,6 +177,15 @@ void Simulator::finish_task(TaskId id) {
   w.busy_time += t.duration;
   w.last_finish = std::max(w.last_finish, now_);
   w.running = TaskId::invalid();
+
+  if (tracing(obs::TraceDetail::kFlow)) {
+    trace_->record(obs::TraceEvent{.kind = obs::TraceKind::kTaskFinish,
+                                   .t = now_,
+                                   .id = id.value(),
+                                   .job = t.job.value(),
+                                   .ctx = t.worker.value(),
+                                   .value = t.duration});
+  }
 
   ECHELON_LOG(kDebug) << "task " << t.label << " done at " << now_;
 
@@ -126,6 +208,9 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
   f.spec = std::move(spec);
   f.remaining = f.spec.size;
   f.start_time = now_;
+  if (tracing(obs::TraceDetail::kFlow)) {
+    trace_flow(obs::TraceKind::kFlowSubmit, f, f.spec.size, f.spec.label);
+  }
   if (f.spec.src != f.spec.dst) {
     auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
     if (!path.has_value()) {
@@ -159,6 +244,10 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
   f.entered = true;
   flows_.push_back(std::move(f));
   flow_done_.push_back(std::move(on_done));
+  if (tracing(obs::TraceDetail::kFlow)) {
+    const Flow& fr = flows_.at(id.value());
+    trace_flow(obs::TraceKind::kFlowStart, fr, fr.spec.size, fr.spec.label);
+  }
 
   // Callbacks may submit flows and reallocate flows_; re-index as needed and
   // hand callbacks a snapshot.
@@ -224,10 +313,17 @@ void Simulator::reallocate() {
   for (FlowId id : active_flows_) {
     active_scratch_.push_back(&flows_.at(id.value()));
   }
+  if (tracing(obs::TraceDetail::kCoarse)) {
+    trace_->record(obs::TraceEvent{.kind = obs::TraceKind::kControlPass,
+                                   .t = now_,
+                                   .id = control_invocations_,
+                                   .ctx = active_scratch_.size()});
+  }
   scheduler_->control(*this, active_scratch_);
   ++control_invocations_;
-  allocator_.allocate(active_scratch_);
+  allocator_.allocate(active_scratch_, now_);
   allocation_dirty_ = false;
+  if (metrics_ != nullptr) sample_metrics();
   // Same-instant reallocation (epoch unmoved): every unchanged flow's heap
   // entry is bitwise still valid, so re-stamp only the allocator's dirty
   // set instead of rebuilding O(active). When the epoch moved, the stamp
@@ -338,6 +434,14 @@ void Simulator::complete_flow(FlowId id, bool notify_scheduler) {
   f.state = FlowState::kFinished;
   f.finish_time = now_;
 
+  // value = undelivered bytes: 0 for a clean finish, > 0 for an abandonment.
+  if (tracing(obs::TraceDetail::kFlow)) {
+    trace_flow(obs::TraceKind::kFlowFinish, f, f.remaining);
+  }
+  if (m_flow_completion_ != nullptr && f.entered) {
+    m_flow_completion_->observe(f.finish_time - f.start_time);
+  }
+
   ECHELON_LOG(kDebug) << "flow " << f.spec.label << " done at " << now_;
 
   // Callbacks may submit flows and reallocate flows_, so work on a copy.
@@ -406,6 +510,10 @@ void Simulator::park_flow(FlowId id) {
   f.completion_gen = ++heap_gen_;
   allocation_dirty_ = true;
 
+  if (tracing(obs::TraceDetail::kCoarse)) {
+    trace_flow(obs::TraceKind::kFlowPark, f, f.remaining);
+  }
+
   // The scheduler saw this flow arrive, so it must see it leave (group
   // caches, frozen-member handling). The completion callback and global
   // flow listeners do NOT fire: the flow is suspended, not done -- in
@@ -425,11 +533,18 @@ void Simulator::resume_flow(FlowId id, topology::Path path) {
   // dirty mark forces the flow's component to refill against the new path.
   f.control_dirty = true;
 
+  if (tracing(obs::TraceDetail::kCoarse)) {
+    trace_flow(obs::TraceKind::kFlowResume, f, f.remaining);
+  }
+
   if (!f.entered) {
     // Parked at birth: this is the flow's first real network entry. Fix the
     // start time and fire the arrival listeners the submission path skipped.
     f.entered = true;
     f.start_time = now_;
+    if (tracing(obs::TraceDetail::kFlow)) {
+      trace_flow(obs::TraceKind::kFlowStart, f, f.remaining, f.spec.label);
+    }
     for (const FlowCallback& cb : flow_arrival_listeners_) {
       cb(*this, flows_.at(id.value()));
     }
@@ -459,6 +574,10 @@ void Simulator::reroute_flow(FlowId id, topology::Path path) {
   // the capacity epoch but not paths, so the reroute must announce itself.
   f.control_dirty = true;
   allocation_dirty_ = true;
+  if (tracing(obs::TraceDetail::kCoarse)) {
+    // `remaining` is epoch-stamped, not materialized -- observational only.
+    trace_flow(obs::TraceKind::kFlowReroute, f, f.remaining);
+  }
 }
 
 void Simulator::abandon_flow(FlowId id) {
@@ -483,6 +602,10 @@ void Simulator::abandon_flow(FlowId id) {
   // `remaining` keeps the undelivered bytes as the loss record. The
   // scheduler is not re-notified -- it saw the departure at park time (and
   // never saw parked-at-birth flows at all).
+  if (tracing(obs::TraceDetail::kCoarse)) {
+    const Flow& fr = flows_.at(id.value());  // listeners may reallocate
+    trace_flow(obs::TraceKind::kFlowAbandon, fr, fr.remaining);
+  }
   complete_flow(id, /*notify_scheduler=*/false);
 }
 

@@ -36,6 +36,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -45,6 +46,8 @@
 #include "netsim/event_queue.hpp"
 #include "netsim/flow.hpp"
 #include "netsim/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/graph.hpp"
 
 namespace echelon::netsim {
@@ -90,6 +93,32 @@ class Simulator {
   // `scheduler` must outlive the simulator run. Defaults to fair sharing.
   void set_scheduler(NetworkScheduler* scheduler) noexcept;
   [[nodiscard]] NetworkScheduler& scheduler() noexcept { return *scheduler_; }
+
+  // --- observability (DESIGN.md §9) ---
+  // Attaches a structured-event sink. Emitters only ever *read* simulation
+  // state, so decisions are bit-identical with and without a sink; with
+  // `sink == nullptr` (the default) every emission site reduces to a single
+  // pointer comparison -- zero extra work, zero allocations. `detail`
+  // selects which kinds fire (see obs::TraceDetail); the allocator's
+  // kAllocPass emission follows the kCoarse level. Sink must outlive the
+  // simulator run.
+  void set_trace(obs::TraceSink* sink,
+                 obs::TraceDetail detail = obs::TraceDetail::kFlow) noexcept;
+  [[nodiscard]] obs::TraceSink* trace_sink() const noexcept { return trace_; }
+  [[nodiscard]] obs::TraceDetail trace_detail() const noexcept {
+    return trace_detail_;
+  }
+
+  // Attaches a metrics registry: per-link utilization and active-flow-count
+  // series sampled at every control pass, a flow-completion-time histogram
+  // and a worker-queue-depth histogram. Same contract as set_trace:
+  // read-only, nullptr (the default) detaches and costs one branch.
+  // Instrument pointers are resolved here once so sampling never does a
+  // name lookup. Registry must outlive the simulator run.
+  void set_metrics(obs::MetricsRegistry* registry);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
 
   // --- workers / compute ---
   WorkerId add_worker(NodeId host, std::string name = {});
@@ -236,6 +265,20 @@ class Simulator {
   };
 
   void reallocate();
+  // True when a sink is attached at (at least) `min_detail` -- the guard in
+  // front of every emission site.
+  [[nodiscard]] bool tracing(obs::TraceDetail min_detail) const noexcept {
+    return trace_ != nullptr && trace_detail_ >= min_detail;
+  }
+  // Builds and records one flow-lifecycle event from the flow's metadata.
+  // Callers gate with tracing() first; out-of-line so the disabled path
+  // stays a lone branch.
+  void trace_flow(obs::TraceKind kind, const Flow& f, double value,
+                  std::string_view label = {});
+  // Samples per-link utilization and the active-flow count into metrics_.
+  // Called at reallocation boundaries only, and only when a registry is
+  // attached.
+  void sample_metrics();
   void start_next_task(WorkerId worker);
   void finish_task(TaskId id);
   void finish_flow(FlowId id);
@@ -317,6 +360,18 @@ class Simulator {
   // ascending-FlowId order.
   bool active_order_dirty_ = false;
   std::uint64_t control_invocations_ = 0;
+
+  // --- observability (null by default: every emission site is one branch) ---
+  obs::TraceSink* trace_ = nullptr;
+  obs::TraceDetail trace_detail_ = obs::TraceDetail::kOff;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Instruments resolved once in set_metrics (stable registry node
+  // addresses), so sampling never performs a name lookup.
+  obs::Histogram* m_flow_completion_ = nullptr;
+  obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Series* m_active_flows_ = nullptr;
+  std::vector<obs::Series*> m_link_util_;   // indexed by LinkId
+  std::vector<double> link_rate_scratch_;   // per-link allocated-rate sums
 };
 
 }  // namespace echelon::netsim

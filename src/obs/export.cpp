@@ -1,0 +1,78 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace echelon::obs {
+
+Csv metrics_to_csv(const MetricsSnapshot& snapshot) {
+  Csv csv({"metric", "kind", "key", "value"});
+  for (const auto& [name, v] : snapshot.counters) {
+    csv.add_row({name, "counter", "", std::to_string(v)});
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    csv.add_row({name, "gauge", "", Csv::num(v)});
+  }
+  for (const MetricsSnapshot::Hist& h : snapshot.histograms) {
+    csv.add_row({h.name, "hist", "count", std::to_string(h.count)});
+    csv.add_row({h.name, "hist", "sum", Csv::num(h.sum)});
+    csv.add_row({h.name, "hist", "mean", Csv::num(h.mean())});
+    csv.add_row({h.name, "hist", "min", Csv::num(h.min)});
+    csv.add_row({h.name, "hist", "p50", Csv::num(h.quantile(0.50))});
+    csv.add_row({h.name, "hist", "p90", Csv::num(h.quantile(0.90))});
+    csv.add_row({h.name, "hist", "p99", Csv::num(h.quantile(0.99))});
+    csv.add_row({h.name, "hist", "max", Csv::num(h.max)});
+    // Raw buckets, for exact downstream re-aggregation. Key is the bucket
+    // upper bound ("inf" for the tail).
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string key =
+          i < h.bounds.size() ? "le_" + Csv::num(h.bounds[i]) : "le_inf";
+      csv.add_row({h.name, "bucket", key, std::to_string(h.counts[i])});
+    }
+  }
+  for (const MetricsSnapshot::Ser& s : snapshot.series) {
+    for (const auto& [t, v] : s.points) {
+      csv.add_row({s.name, "series", Csv::num(t), Csv::num(v)});
+    }
+  }
+  return csv;
+}
+
+bool write_metrics_csv(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  return metrics_to_csv(snapshot).write_file(path);
+}
+
+void print_metrics_summary(std::ostream& os, const MetricsSnapshot& snapshot) {
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    Table scalars({"metric", "kind", "value"});
+    for (const auto& [name, v] : snapshot.counters) {
+      scalars.add_row({name, "counter", std::to_string(v)});
+    }
+    for (const auto& [name, v] : snapshot.gauges) {
+      scalars.add_row({name, "gauge", Table::num(v, 6)});
+    }
+    scalars.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    os << '\n';
+    Table hists({"histogram", "count", "mean", "p50", "p99", "max"});
+    for (const MetricsSnapshot::Hist& h : snapshot.histograms) {
+      hists.add_row({h.name, std::to_string(h.count), Table::num(h.mean(), 6),
+                     Table::num(h.quantile(0.50), 6),
+                     Table::num(h.quantile(0.99), 6), Table::num(h.max, 6)});
+    }
+    hists.print(os);
+  }
+  if (!snapshot.series.empty()) {
+    os << '\n';
+    Table series({"series", "samples"});
+    for (const MetricsSnapshot::Ser& s : snapshot.series) {
+      series.add_row({s.name, std::to_string(s.points.size())});
+    }
+    series.print(os);
+  }
+}
+
+}  // namespace echelon::obs

@@ -47,6 +47,12 @@ void Coordinator::control(netsim::Simulator& sim,
 
   if (config_.mode == SchedulingMode::kPerEvent || due) {
     policy_.control(sim, active);
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent{.kind = obs::TraceKind::kHeuristicRun,
+                                     .t = sim.now(),
+                                     .id = heuristic_runs_,
+                                     .ctx = active.size()});
+    }
     ++heuristic_runs_;
     dirty_events_ = 0;
     if (config_.mode == SchedulingMode::kInterval) {
@@ -74,6 +80,15 @@ void Coordinator::control(netsim::Simulator& sim,
           it != decision_cache_.end()) {
         f->set_rate_cap(it->second);
         ++reuse_hits_;
+        if (trace_ != nullptr) {
+          trace_->record(
+              obs::TraceEvent{.kind = obs::TraceKind::kReuseHit,
+                              .t = sim.now(),
+                              .id = f->id.value(),
+                              .job = f->spec.job.value(),
+                              .ctx = f->spec.signature,
+                              .value = it->second});
+        }
         continue;
       }
     }

@@ -24,6 +24,7 @@
 #include "echelon/registry.hpp"
 #include "netsim/scheduler.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/trace.hpp"
 #include "runtime/api.hpp"
 
 namespace echelon::runtime {
@@ -51,6 +52,13 @@ class Coordinator final : public netsim::NetworkScheduler {
   // Framework request path (used by agents): declares an EchelonFlow and
   // returns its id for flow tagging.
   EchelonFlowId accept_request(const EchelonFlowRequest& request);
+
+  // Observability (DESIGN.md §9): with a sink attached, every heuristic
+  // re-run emits kHeuristicRun (id = run index, ctx = active flows) and
+  // every signature-cache grant emits kReuseHit (id = flow, ctx = signature,
+  // value = granted rate). Read-only; nullptr (the default) detaches and
+  // costs one branch per site.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
 
   // --- NetworkScheduler -------------------------------------------------------
   void control(netsim::Simulator& sim,
@@ -97,6 +105,7 @@ class Coordinator final : public netsim::NetworkScheduler {
   CoordinatorConfig config_;
   ef::Registry registry_;
   ef::EchelonMaddScheduler policy_;
+  obs::TraceSink* trace_ = nullptr;  // null => zero-cost emission branches
 
   SimTime next_recompute_ = 0.0;
   bool timer_pending_ = false;

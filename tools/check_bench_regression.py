@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the hot-path benchmarks.
+
+Compares fresh google-benchmark JSON output (bench_allocator,
+bench_coordinator_scale, bench_simloop) against the checked-in baselines in
+BENCH_hotpath.json and fails if any benchmark regressed by more than the
+tolerance. Run from CI after the perf-smoke leg; deliberately NOT a ctest --
+it needs the baseline file and a calibrated machine-speed correction, both
+of which live outside the test binaries.
+
+CI machines are not the machine the baseline was recorded on, so raw
+nanosecond comparisons are meaningless there. Instead the check is
+*relative*: every fresh run is first normalized by the median
+fresh/baseline ratio across all benchmarks (the machine-speed calibration
+factor), and only benchmarks whose normalized ratio still exceeds
+1 + tolerance are flagged. A uniform slowdown (slower CI box) cancels out;
+a *skewed* slowdown -- e.g. an observability branch creeping into one hot
+loop while the others stay put -- does not. Use --no-normalize for
+same-machine comparisons against the recorded absolute numbers.
+
+Usage:
+  bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
+  bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
+  bench_simloop           --benchmark_out=simloop.json --benchmark_out_format=json
+  tools/check_bench_regression.py --baseline BENCH_hotpath.json \
+      --tolerance 2.0 alloc.json coord.json simloop.json
+
+Exit status: 0 = all within tolerance, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_baseline(path):
+    """name -> baseline real_time ns, from BENCH_hotpath.json's runs blob."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for run in doc.get("runs", {}).values():
+        for b in run.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            times[b["name"]] = float(b["real_time"])
+    if not times:
+        raise ValueError(f"{path}: no benchmark baselines found under 'runs'")
+    return times
+
+
+def load_fresh(paths, require_metrics_context):
+    """name -> fresh real_time ns across all given benchmark JSON files."""
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if require_metrics_context and "echelon_metrics" not in doc.get(
+            "context", {}
+        ):
+            raise ValueError(
+                f"{path}: context is missing the echelon_metrics snapshot "
+                "(bench_util.hpp should attach it)"
+            )
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            times[b["name"]] = float(b["real_time"])
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", nargs="+", help="google-benchmark JSON outputs")
+    ap.add_argument("--baseline", default="BENCH_hotpath.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="max allowed regression in percent after calibration (default 2)",
+    )
+    ap.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw times (same machine as the baseline recording)",
+    )
+    ap.add_argument(
+        "--require-metrics-context",
+        action="store_true",
+        help="fail if a fresh run lacks the echelon_metrics context blob",
+    )
+    args = ap.parse_args()
+
+    try:
+        baseline = load_baseline(args.baseline)
+        fresh = load_fresh(args.fresh, args.require_metrics_context)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("error: no benchmark names in common with the baseline",
+              file=sys.stderr)
+        return 2
+
+    ratios = {name: fresh[name] / baseline[name] for name in common}
+    calibration = 1.0 if args.no_normalize else statistics.median(
+        ratios.values()
+    )
+    limit = 1.0 + args.tolerance / 100.0
+
+    print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
+    print(f"machine-speed calibration: x{calibration:.3f} "
+          f"({'raw' if args.no_normalize else 'median fresh/baseline'})")
+    failures = []
+    for name in common:
+        norm = ratios[name] / calibration
+        status = "ok"
+        if norm > limit:
+            status = f"REGRESSED {100.0 * (norm - 1.0):+.2f}%"
+            failures.append(name)
+        print(f"  {name:<40} base {baseline[name]:>12.0f} ns  "
+              f"fresh {fresh[name]:>12.0f} ns  norm x{norm:.3f}  {status}")
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmarks not in this run "
+              f"(e.g. {missing[0]})")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance}% with observability disabled:",
+              file=sys.stderr)
+        for name in failures:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.tolerance}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

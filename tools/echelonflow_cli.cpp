@@ -27,6 +27,21 @@
 //   --chaos-seed S (default 1)  --chaos-horizon T seconds (default 2)
 //     fault columns (reroutes/parks/abandoned/downtime) are reported and
 //     written to the CSV whenever fault injection is active.
+//
+// observability options (both `single` and `cluster`, DESIGN.md §9):
+//   --trace-out PATH    write a Perfetto/Chrome trace_event JSON trace
+//                       (open in https://ui.perfetto.dev). `cluster` writes
+//                       one file per scheduler: PATH gains a .<scheduler>
+//                       tag before its extension when the sweep has more
+//                       than one point.
+//   --trace-detail off|coarse|flow   how much the emitters record
+//                       (default: flow when --trace-out is given, else off).
+//                       coarse = control-plane + fault events only.
+//   --metrics-out PATH  write the metrics-registry snapshot as CSV
+//                       (merged across sweep points for `cluster`) and
+//                       print a summary table to stdout.
+//     Observability is read-only: results are byte-identical with these
+//     flags on or off (tests/test_obs.cpp pins this).
 
 #include <algorithm>
 #include <cstdlib>
@@ -48,6 +63,10 @@
 #include "echelon/sincronia.hpp"
 #include "echelon/srpt.hpp"
 #include "netsim/timeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
 #include "topology/builders.hpp"
 #include "workload/dp.hpp"
 #include "workload/ep.hpp"
@@ -91,6 +110,63 @@ Args parse(int argc, char** argv, int from) {
     }
   }
   return a;
+}
+
+// Observability flags shared by `single` and `cluster`. --trace-detail
+// defaults to `flow` whenever a trace output was requested, so
+// `--trace-out t.json` alone produces a useful trace.
+struct ObsArgs {
+  std::string trace_out;
+  std::string metrics_out;
+  obs::TraceDetail detail = obs::TraceDetail::kOff;
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return detail != obs::TraceDetail::kOff;
+  }
+  [[nodiscard]] bool metrics() const noexcept { return !metrics_out.empty(); }
+};
+
+[[nodiscard]] bool parse_obs(const Args& args, ObsArgs* out) {
+  out->trace_out = args.get("trace-out", "");
+  out->metrics_out = args.get("metrics-out", "");
+  const std::string detail =
+      args.get("trace-detail", out->trace_out.empty() ? "off" : "flow");
+  if (!obs::trace_detail_from_string(detail, &out->detail)) {
+    std::cerr << "unknown --trace-detail '" << detail
+              << "' (expected off|coarse|flow)\n";
+    return false;
+  }
+  return true;
+}
+
+// "sweep.json" + "srpt" -> "sweep.srpt.json"; extensionless paths get the
+// tag appended. Used by `cluster` to write one trace per sweep point.
+[[nodiscard]] std::string tag_path(const std::string& path,
+                                   const std::string& tag) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos || dot == 0 ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+// Writes one Perfetto trace file and reports what landed in it.
+[[nodiscard]] bool export_trace(const std::string& path,
+                                const obs::TraceRecorder& recorder,
+                                const obs::MetricsSnapshot* metrics,
+                                const obs::PerfettoOptions& options) {
+  if (!obs::write_perfetto_trace_file(path, recorder, metrics, options)) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << " (" << recorder.size() << " events";
+  if (recorder.dropped() > 0) {
+    std::cout << ", " << recorder.dropped() << " dropped";
+  }
+  std::cout << ")\n";
+  return true;
 }
 
 std::unique_ptr<netsim::NetworkScheduler> make_scheduler(
@@ -165,6 +241,8 @@ int cmd_single(const Args& args) {
   const int layers = args.geti("layers", 8);
   const int hidden = args.geti("hidden", 2048);
   const double jitter = args.getd("jitter", 0.0);
+  ObsArgs obs_args;
+  if (!parse_obs(args, &obs_args)) return 2;
 
   const bool needs_ps = paradigm == "ps";
   auto fabric =
@@ -175,6 +253,13 @@ int cmd_single(const Args& args) {
   auto sched = make_scheduler(sched_name, &reg);
   if (sched) sim.set_scheduler(sched.get());
   netsim::TimelineRecorder timeline(sim);
+
+  // Observability: attach only when requested -- the default run carries a
+  // null sink and pays nothing (DESIGN.md §9).
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  if (obs_args.tracing()) sim.set_trace(&recorder, obs_args.detail);
+  if (obs_args.metrics()) sim.set_metrics(&registry);
 
   std::vector<NodeId> hosts(fabric.hosts.begin(),
                             fabric.hosts.begin() + ranks);
@@ -240,10 +325,32 @@ int cmd_single(const Args& args) {
     std::cout << "\n"
               << timeline.render(makespan / 100.0, 100);
   }
+
+  obs::MetricsSnapshot snapshot;
+  if (obs_args.metrics()) snapshot = registry.snapshot();
+  if (!obs_args.trace_out.empty()) {
+    obs::PerfettoOptions popt;
+    popt.topology = &fabric.topo;
+    if (!export_trace(obs_args.trace_out, recorder,
+                      obs_args.metrics() ? &snapshot : nullptr, popt)) {
+      return 1;
+    }
+  }
+  if (obs_args.metrics()) {
+    if (!obs::write_metrics_csv(obs_args.metrics_out, snapshot)) {
+      std::cerr << "cannot write " << obs_args.metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << obs_args.metrics_out << "\n\n";
+    obs::print_metrics_summary(std::cout, snapshot);
+  }
   return 0;
 }
 
 int cmd_cluster(const Args& args) {
+  ObsArgs obs_args;
+  if (!parse_obs(args, &obs_args)) return 2;
+
   cluster::TraceConfig tcfg;
   tcfg.num_jobs = args.geti("jobs", 12);
   tcfg.seed = static_cast<std::uint64_t>(args.geti("seed", 42));
@@ -309,17 +416,30 @@ int cmd_cluster(const Args& args) {
   // and shared across threads).
   std::vector<cluster::SweepPoint> points;
   points.reserve(kinds.size());
+  // Per-point trace recorders: each one is written exclusively by the worker
+  // thread that runs its point (recorders are thread-confined, like the
+  // sweep's per-point metrics registries). unique_ptr keeps addresses stable
+  // across the vector build.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
   for (const auto kind : kinds) {
     cluster::ExperimentConfig cfg;
     cfg.scheduler = kind;
     cfg.hosts = hosts;
     cfg.port_capacity = gbps(cap_gbps);
     if (have_plan) cfg.fault_plan = &plan;
+    if (obs_args.tracing() && !obs_args.trace_out.empty()) {
+      recorders.push_back(std::make_unique<obs::TraceRecorder>());
+      cfg.trace_sink = recorders.back().get();
+      cfg.trace_detail = obs_args.detail;
+    }
     points.push_back({jobs, cfg});
   }
   cluster::SweepOptions opts;
   opts.threads = static_cast<unsigned>(std::max(0, args.geti("threads", 0)));
-  const auto results = cluster::run_sweep(points, opts);
+  const bool want_capture = obs_args.metrics() || !recorders.empty();
+  cluster::SweepCapture capture;
+  const auto results =
+      cluster::run_sweep(points, opts, want_capture ? &capture : nullptr);
 
   std::vector<std::string> headers = {"scheduler", "mean iter (s)",
                                       "p99 iter (s)", "mean JCT (s)",
@@ -365,6 +485,34 @@ int cmd_cluster(const Args& args) {
       return 1;
     }
     std::cout << "wrote " << path << "\n";
+  }
+
+  if (!recorders.empty()) {
+    // One trace file per sweep point; name the link counter tracks with the
+    // same fabric shape run_experiment built.
+    const auto fabric = topology::make_big_switch(hosts, gbps(cap_gbps));
+    obs::PerfettoOptions popt;
+    popt.topology = &fabric.topo;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const std::string path =
+          kinds.size() == 1
+              ? obs_args.trace_out
+              : tag_path(obs_args.trace_out,
+                         std::string(cluster::to_string(kinds[i])));
+      const obs::MetricsSnapshot* snap =
+          i < capture.point_metrics.size() ? &capture.point_metrics[i]
+                                           : nullptr;
+      if (!export_trace(path, *recorders[i], snap, popt)) return 1;
+    }
+  }
+  if (obs_args.metrics()) {
+    if (!obs::write_metrics_csv(obs_args.metrics_out, capture.merged)) {
+      std::cerr << "cannot write " << obs_args.metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << obs_args.metrics_out
+              << " (merged across schedulers)\n\n";
+    obs::print_metrics_summary(std::cout, capture.merged);
   }
   return 0;
 }
