@@ -1,0 +1,131 @@
+// Thread-scaling microbenchmark of the parallel per-component water-fill
+// (DESIGN.md §10, EXPERIMENTS.md EXT-P).
+//
+// Workload: `components` link-disjoint jobs (one src->dst host pair each,
+// 32 capped flows per job -- the staggered-caps progressive-filling worst
+// case from bench_allocator) under AllocMode::kFullRecompute, so EVERY
+// pass water-fills EVERY component. The threads axis sweeps the same
+// allocator + population through widths 1/2/4/8 of the shared ThreadPool;
+// because the results are bit-identical by construction, the only thing
+// that can move is time. `threads:1` with the pool attached-but-bypassed
+// measures the dispatch-free serial path, i.e. the single-thread overhead
+// of the validate->fill->merge restructure itself (budget: <= 1.05x the
+// pre-restructure allocator; tracked as overhead_parallel_serial in
+// BENCH_hotpath.json, with throughput_vs_threads carrying the scaling
+// curve).
+//
+// Numbers are only meaningful relative to the machine shape: the JSON
+// context records echelon_hardware_concurrency / echelon_pool_participants,
+// and tools/check_bench_regression.py skips the thread-scaling gate when a
+// fresh run's shape differs from the baseline's.
+//
+// Emit JSON for trajectory tracking with:
+//   bench_parallel_alloc --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/pool.hpp"
+#include "common/units.hpp"
+#include "netsim/allocator.hpp"
+#include "netsim/flow.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using namespace echelon;
+
+struct Population {
+  topology::BuiltFabric fabric;
+  std::vector<netsim::Flow> flows;
+  std::vector<netsim::Flow*> active;
+};
+
+// `n_jobs` independent components: job j's 32 flows all cross the dedicated
+// host pair (2j, 2j+1), so the union-find partition yields exactly n_jobs
+// singleton-pair components with zero shared links.
+Population make_components(int n_jobs) {
+  constexpr int kFlowsPerJob = 32;
+  Population p{topology::make_big_switch(2 * n_jobs, gbps(100)), {}, {}};
+  std::uint64_t id = 0;
+  p.flows.reserve(static_cast<std::size_t>(n_jobs) * kFlowsPerJob);
+  for (int j = 0; j < n_jobs; ++j) {
+    for (int k = 0; k < kFlowsPerJob; ++k) {
+      netsim::Flow f;
+      f.id = FlowId{id};
+      f.spec.size = 1e9;
+      f.remaining = 1e9;
+      f.weight = 1.0;
+      // Staggered binding caps: each water-fill round freezes one flow, the
+      // multi-round worst case, so per-component fill cost is substantial
+      // enough for parallelism to matter.
+      f.rate_cap = gbps(0.1 * (k + 1));
+      f.path = *p.fabric.topo.route(p.fabric.hosts[2 * j],
+                                    p.fabric.hosts[2 * j + 1], id);
+      ++id;
+      p.flows.push_back(std::move(f));
+    }
+  }
+  for (auto& f : p.flows) p.active.push_back(&f);
+  return p;
+}
+
+// args: {components, threads}. threads == 1 exercises the serial path with
+// the parallel restructure in place (the overhead measurement); >= 2
+// dispatches fills onto the shared pool.
+void BM_ParallelAllocFill(benchmark::State& state) {
+  Population p = make_components(static_cast<int>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  netsim::RateAllocator alloc(&p.fabric.topo,
+                              netsim::AllocMode::kFullRecompute);
+  alloc.set_parallelism(&ThreadPool::shared(), threads);
+  alloc.allocate(p.active);  // warm the arenas
+  for (auto _ : state) {
+    alloc.allocate(p.active);
+    benchmark::DoNotOptimize(p.active);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.flows.size()));
+  state.counters["components_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelAllocFill)
+    ->ArgNames({"components", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool not_release = echelon::benchutil::warn_if_not_release();
+  benchmark::AddCustomContext("echelon_build_type",
+                              echelon::benchutil::kBuildType);
+  if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  // Machine shape: thread-scaling numbers are only comparable between
+  // identically-shaped hosts (tools/check_bench_regression.py checks this).
+  benchmark::AddCustomContext(
+      "echelon_hardware_concurrency",
+      echelon::benchutil::hardware_concurrency_context());
+  benchmark::AddCustomContext("echelon_pool_participants",
+                              echelon::benchutil::pool_participants_context());
+  // Behavioural fingerprint of the hot path (allocator cache hit rate,
+  // reallocation counts, ...) so BENCH_hotpath.json timing shifts can be
+  // cross-read against scheduler behaviour (bench_util.hpp).
+  benchmark::AddCustomContext("echelon_metrics",
+                              echelon::benchutil::hotpath_metrics_context());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <memory>
 
+#include "common/pool.hpp"
 #include "common/timer.hpp"
 #include "echelon/coflow_madd.hpp"
 #include "echelon/srpt.hpp"
@@ -144,6 +145,19 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     scheduler = pq.get();
   }
   sim.set_scheduler(scheduler);
+
+  // Intra-run parallelism wiring (DESIGN.md §10): hand the process-wide
+  // shared pool to the simulator (allocator water-fill, flow stamping, heap
+  // prep) and, when the standalone EchelonFlow-MADD policy is in play, to
+  // its group-cache validation. threads == 1 leaves everything serial and
+  // never touches the pool. Safe under run_sweep: nested dispatches from
+  // pool workers run inline-serially.
+  if (config.threads != 1) {
+    sim.set_parallelism(&ThreadPool::shared(), config.threads);
+    if (auto* madd = dynamic_cast<ef::EchelonMaddScheduler*>(policy.get())) {
+      madd->set_parallelism(&ThreadPool::shared(), config.threads);
+    }
+  }
 
   // Observability wiring (DESIGN.md §9): read-only emitters, null-guarded at
   // every site. The coordinator's kHeuristicRun/kReuseHit and the fault

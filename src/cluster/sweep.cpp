@@ -1,9 +1,9 @@
 #include "cluster/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <thread>
+
+#include "common/pool.hpp"
 
 namespace echelon::cluster {
 
@@ -16,7 +16,7 @@ namespace {
     t = std::thread::hardware_concurrency();
     if (t == 0) t = 1;
   }
-  // Never spawn more workers than there are points.
+  // Never engage more workers than there are points.
   t = static_cast<unsigned>(
       std::min<std::size_t>(t, std::max<std::size_t>(n, 1)));
   return std::max(1u, t);
@@ -29,36 +29,16 @@ void parallel_for_indexed(std::size_t n, unsigned threads,
   if (n == 0) return;
   threads = resolve_threads(threads, n);
 
-  // One exception slot per point: workers never touch each other's slots,
-  // so no lock is needed, and rethrowing the lowest failing index matches
-  // what a serial loop would have thrown first.
-  std::vector<std::exception_ptr> errors(n);
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() noexcept {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
-  };
-
-  if (threads == 1) {
-    // Serial fast path: run on the calling thread, no pool.
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& th : pool) th.join();
-  }
-
-  for (std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  // Dispatch onto the process-wide shared pool instead of spawning a
+  // per-call thread vector (satellite of DESIGN.md §10): repeated sweeps
+  // reuse parked workers, and a sweep point that itself runs a threaded
+  // simulator nests safely -- ThreadPool::run detects re-entry from a pool
+  // task and degrades to an inline serial loop rather than deadlocking on
+  // its own workers. The pool preserves this function's contract: every
+  // index is attempted exactly once and the lowest failing index is
+  // rethrown, matching what a serial loop would have thrown first.
+  ThreadPool::shared().run(n, threads,
+                           [&fn](unsigned, std::size_t i) { fn(i); });
 }
 
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepPoint>& points,

@@ -9,10 +9,16 @@
 // `wall_ms` timing field is the only exception). The golden suite asserts
 // exactly this.
 //
-// Scheduling: workers claim point indices from a shared atomic counter
-// (dynamic load balancing; sweep points can differ wildly in cost).
-// Exceptions thrown by a point are captured and rethrown on the calling
-// thread -- the first failing index wins, matching serial semantics.
+// Scheduling: points dispatch onto the process-wide echelon::ThreadPool
+// (common/pool.hpp) -- no per-call thread spawn; repeated sweeps reuse
+// parked workers. Workers steal point indices from per-worker atomic
+// cursors (dynamic load balancing; sweep points can differ wildly in
+// cost). Exceptions thrown by a point are captured and rethrown on the
+// calling thread -- the lowest failing index wins, matching serial
+// semantics. Nested-parallelism safe: a sweep point whose experiment
+// config enables intra-run parallelism (ExperimentConfig::threads) shares
+// the same pool; inner dispatches from pool workers run inline-serially
+// by construction, so a sweep can never deadlock on its own workers.
 
 #pragma once
 

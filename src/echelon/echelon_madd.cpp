@@ -34,6 +34,14 @@ EchelonMaddScheduler::Resolved EchelonMaddScheduler::resolve(
   return Resolved{key, deadline, weight};
 }
 
+bool EchelonMaddScheduler::cache_valid(const netsim::Flow& f) const {
+  const std::size_t idx = f.id.value();
+  if (idx >= meta_.size() || meta_[idx].slot == kNoSlot) return false;
+  const Resolved r = resolve(f);
+  const FlowMeta& m = meta_[idx];
+  return m.key == r.key && m.deadline == r.deadline;
+}
+
 void EchelonMaddScheduler::add_to_cache(const netsim::Flow& f) {
   const Resolved r = resolve(f);
   std::uint32_t slot;
@@ -167,6 +175,10 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
   flow_ptr_.begin_pass();
   bool consistent = true;
   std::size_t routed = 0;
+  // Cache mutation and routing bookkeeping stay on the calling thread; only
+  // the pure per-flow validity predicate may go wide below.
+  const bool par_validate =
+      pool_ != nullptr && active.size() >= kParallelValidateBatch;
   for (netsim::Flow* f : active) {
     if (f->path.empty()) {
       f->set_weight(1.0);
@@ -177,14 +189,24 @@ void EchelonMaddScheduler::control(netsim::Simulator& sim,
     const std::size_t idx = f->id.value();
     flow_ptr_.ensure_size(idx + 1);
     flow_ptr_.touch(idx) = f;
-    if (consistent) {
-      if (idx >= meta_.size() || meta_[idx].slot == kNoSlot) {
-        consistent = false;
-      } else {
-        const Resolved r = resolve(*f);
-        const FlowMeta& m = meta_[idx];
-        if (m.key != r.key || m.deadline != r.deadline) consistent = false;
-      }
+    if (!par_validate && consistent) consistent = cache_valid(*f);
+  }
+  if (par_validate) {
+    // Component-local validation: each flow's check reads only that flow,
+    // its meta_ row, and the (immutable-within-a-pass) registry. Per-worker
+    // flags AND-merge to the same verdict the serial short-circuit walk
+    // reaches, regardless of thread count or interleaving.
+    const unsigned workers =
+        std::min(par_threads_ == 0 ? pool_->concurrency() : par_threads_,
+                 pool_->concurrency());
+    valid_scratch_.begin_pass(workers, std::uint8_t{1});
+    pool_->run(active.size(), par_threads_, [&](unsigned w, std::size_t i) {
+      const netsim::Flow* f = active[i];
+      if (f->path.empty()) return;
+      if (!cache_valid(*f)) valid_scratch_.at(w) = 0;
+    });
+    for (unsigned w = 0; w < workers; ++w) {
+      if (valid_scratch_.read(w) == 0) consistent = false;
     }
   }
   // Equal counts + (active ⊆ cache) ⇒ cache == active.

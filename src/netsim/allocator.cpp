@@ -96,9 +96,23 @@ void RateAllocator::allocate(std::span<Flow*> flows, SimTime now) {
   }
 
   // --- Phase C: per component, reuse the cached converged rates when the
-  // inputs are provably unchanged, otherwise water-fill (and re-cache). ---
+  // inputs are provably unchanged, otherwise water-fill (and re-cache).
+  //
+  // Structured as validate -> fill -> merge so the fills can run on the
+  // shared pool (DESIGN.md §10). The serial cache-validation pass collects
+  // the miss list (ascending component order) plus each miss's in-place
+  // refresh candidate; the fills -- pure functions of per-component inputs
+  // writing only their own members' rates and their own (link-disjoint)
+  // links_ slots -- run in any order on any thread; and every
+  // order-sensitive effect (record stores, stats, kCompFill emission)
+  // happens serially afterwards in ascending-component order. Both paths
+  // execute identical floating-point expressions on identical operands, so
+  // rates, stats, the dirty set and the trace stream are bit-identical at
+  // any thread count, including the serial path. ---
   stats_.components += comps;
   const std::uint64_t filled_before = stats_.components_filled;
+  fill_comps_.clear();
+  fill_cands_.clear();
   for (std::uint32_t c = 0; c < comps; ++c) {
     const std::uint32_t* members = comp_members_.data() + comp_start_[c];
     const std::size_t count = comp_start_[c + 1] - comp_start_[c];
@@ -106,11 +120,68 @@ void RateAllocator::allocate(std::span<Flow*> flows, SimTime now) {
       ++stats_.components_reused;
       continue;
     }
-    water_fill(members, count);
-    ++stats_.components_filled;
-    if (mode_ == AllocMode::kIncremental) store_component(members, count);
+    fill_comps_.push_back(c);
+    fill_cands_.push_back(reuse_candidate_);
   }
-  if (mode_ == AllocMode::kIncremental) maybe_sweep_records(comps);
+
+  const bool emit_comps = trace_ != nullptr && trace_components_;
+  if (pool_ != nullptr && fill_comps_.size() > 1) {
+    const unsigned workers =
+        std::min<unsigned>(threads_ == 0 ? pool_->concurrency() : threads_,
+                           pool_->concurrency());
+    fill_scratch_.begin_pass(workers);
+    if (emit_comps) comp_shards_.begin(workers);
+    pool_->run(fill_comps_.size(), workers, [&](unsigned w, std::size_t i) {
+      const std::uint32_t c = fill_comps_[i];
+      const std::size_t count = comp_start_[c + 1] - comp_start_[c];
+      water_fill(comp_members_.data() + comp_start_[c], count,
+                 fill_scratch_.at(w));
+      if (emit_comps) {
+        comp_shards_.record(
+            w, c,
+            obs::TraceEvent{.kind = obs::TraceKind::kCompFill,
+                            .t = now,
+                            .id = pass_ - 1,
+                            .job = obs::TraceEvent::kNone,
+                            .ctx = c,
+                            .value = static_cast<double>(count)});
+      }
+    });
+    if (emit_comps) comp_shards_.merge_into(*trace_);
+  } else {
+    fill_scratch_.begin_pass(1);
+    FillScratch& fs = fill_scratch_.at(0);
+    for (const std::uint32_t c : fill_comps_) {
+      const std::size_t count = comp_start_[c + 1] - comp_start_[c];
+      water_fill(comp_members_.data() + comp_start_[c], count, fs);
+      if (emit_comps) {
+        trace_->record(
+            obs::TraceEvent{.kind = obs::TraceKind::kCompFill,
+                            .t = now,
+                            .id = pass_ - 1,
+                            .job = obs::TraceEvent::kNone,
+                            .ctx = c,
+                            .value = static_cast<double>(count)});
+      }
+    }
+  }
+
+  // Deterministic merge: record-cache stores walk the miss list in
+  // ascending-component order, exactly as the interleaved serial loop did.
+  // (Stores only read converged member rates and write cache/back-pointer
+  // state components never share, so deferring them past the fills changes
+  // no decision -- try_reuse of a later component never reads state stored
+  // for an earlier one within the same pass.)
+  stats_.components_filled += fill_comps_.size();
+  if (mode_ == AllocMode::kIncremental) {
+    for (std::size_t i = 0; i < fill_comps_.size(); ++i) {
+      const std::uint32_t c = fill_comps_[i];
+      reuse_candidate_ = fill_cands_[i];
+      store_component(comp_members_.data() + comp_start_[c],
+                      comp_start_[c + 1] - comp_start_[c]);
+    }
+    maybe_sweep_records(comps);
+  }
 
   // --- Dirty-set handoff + notification consumption. ---
   for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -134,13 +205,17 @@ void RateAllocator::allocate(std::span<Flow*> flows, SimTime now) {
 }
 
 void RateAllocator::water_fill(const std::uint32_t* members,
-                               std::size_t count) {
+                               std::size_t count, FillScratch& fs) {
   // Progressive filling: repeatedly raise the "water level" (rate per unit
   // weight) until a link saturates or a flow reaches its cap; freeze and
   // repeat. Each round freezes at least one flow or saturates at least one
   // link, so the loop terminates in O(flows + links) rounds. Components are
-  // link-disjoint by construction, so the shared per-link scratch state is
-  // touched by exactly one component's fill.
+  // link-disjoint by construction, so each per-link scratch slot is touched
+  // by exactly one component's fill -- which is also what makes concurrent
+  // fills of distinct components race-free (the mutable working set, `fs`,
+  // is thread-confined per participant).
+  std::vector<std::uint32_t>& unfrozen_ = fs.unfrozen;
+  std::vector<std::uint32_t>& next_ = fs.next;
   unfrozen_.assign(members, members + count);
   while (!unfrozen_.empty()) {
     // Max additional level permitted by each constraining link.

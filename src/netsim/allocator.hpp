@@ -53,6 +53,8 @@
 #include <span>
 #include <vector>
 
+#include "common/pool.hpp"
+#include "common/scratch.hpp"
 #include "common/time.hpp"
 #include "netsim/flow.hpp"
 #include "obs/trace.hpp"
@@ -94,9 +96,31 @@ class RateAllocator {
   // Observability (DESIGN.md §9): with a sink attached, every allocate()
   // pass emits one kAllocPass event (id = pass index, ctx = components seen
   // this pass, value = components water-filled this pass; reused = ctx -
-  // value). nullptr (the default) detaches: the emission site reduces to a
-  // single pointer compare and the pass performs no extra work.
-  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+  // value). With `per_component` additionally set (the Simulator passes
+  // detail >= kFlow), every water-filled component emits one kCompFill
+  // event (id = pass index, ctx = component id, value = member count) in
+  // ascending-component order -- parallel fills record into per-worker
+  // shards and merge on the same key, so the stream is bit-identical at any
+  // thread count. nullptr (the default) detaches: the emission site reduces
+  // to a single pointer compare and the pass performs no extra work.
+  void set_trace(obs::TraceSink* sink, bool per_component = false) noexcept {
+    trace_ = sink;
+    trace_components_ = sink != nullptr && per_component;
+  }
+
+  // Intra-pass parallelism (DESIGN.md §10): water-fill independent
+  // contention components on up to `threads` pool participants. Components
+  // are link-disjoint, each fill writes only its own members' rates and its
+  // own links' scratch slots, and every order-sensitive effect (cache
+  // stores, stats, dirty-set handoff, trace emission) happens serially in
+  // ascending-component order after the join -- so results, stats and
+  // traces are bit-identical to the serial pass at any thread count.
+  // threads == 1 or pool == nullptr restores the serial path (the
+  // default); threads == 0 uses every pool participant.
+  void set_parallelism(ThreadPool* pool, unsigned threads) noexcept {
+    pool_ = threads == 1 ? nullptr : pool;
+    threads_ = threads;
+  }
 
   [[nodiscard]] AllocMode mode() const noexcept { return mode_; }
 
@@ -164,9 +188,21 @@ class RateAllocator {
 
   static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
 
+  // Thread-confined working set of one water-fill: the unfrozen member list
+  // and its next-round double buffer. One per pool participant
+  // (WorkerScratch) so concurrent component fills never share them; the
+  // serial path uses slot 0.
+  struct FillScratch {
+    std::vector<std::uint32_t> unfrozen;
+    std::vector<std::uint32_t> next;
+  };
+
   [[nodiscard]] std::uint32_t uf_find(std::uint32_t slot) noexcept;
   // Progressive filling restricted to one component (member slots into af_).
-  void water_fill(const std::uint32_t* members, std::size_t count);
+  // Touches only the component's own links_/rate state plus `fs` -- safe to
+  // run concurrently for distinct components with distinct scratch.
+  void water_fill(const std::uint32_t* members, std::size_t count,
+                  FillScratch& fs);
   // Exact cache validation; on hit restores the cached rates and returns
   // true. Collision-proof: compares member ids positionally plus the
   // recorded weight/cap values bit-for-bit.
@@ -183,6 +219,9 @@ class RateAllocator {
   Stats stats_;
   std::uint64_t pass_ = 0;
   obs::TraceSink* trace_ = nullptr;  // null => zero-cost emission branch
+  bool trace_components_ = false;    // emit kCompFill per filled component
+  ThreadPool* pool_ = nullptr;       // null => serial fills (the default)
+  unsigned threads_ = 1;
 
   // --- reusable arenas (allocation-free after warm-up) ---
   topology::LinkScratch<LinkLoad> links_;
@@ -194,8 +233,10 @@ class RateAllocator {
   std::vector<std::uint32_t> comp_start_;   // comps+1 prefix offsets
   std::vector<std::uint32_t> comp_cursor_;
   std::vector<std::uint32_t> comp_members_; // bucketed slots, span order
-  std::vector<std::uint32_t> unfrozen_;
-  std::vector<std::uint32_t> next_;
+  WorkerScratch<FillScratch> fill_scratch_; // per-participant fill arenas
+  std::vector<std::uint32_t> fill_comps_;   // components to fill, ascending
+  std::vector<std::uint32_t> fill_cands_;   // reuse_candidate per fill comp
+  obs::TraceShards comp_shards_;            // parallel kCompFill emission
   std::vector<double> prev_rate_;           // span-parallel rate snapshot
   std::vector<Flow*> rate_changed_;
 

@@ -96,8 +96,12 @@ class EventQueue {
       due_scratch_.push_back(heap_.back());
       heap_.pop_back();
     }
-    std::sort(due_scratch_.begin(), due_scratch_.end(),
-              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    // The common batch is a single due entry (steady-state event loops fire
+    // one event per instant); sorting is only meaningful from two up.
+    if (due_scratch_.size() > 1) {
+      std::sort(due_scratch_.begin(), due_scratch_.end(),
+                [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    }
     for (const Entry& e : due_scratch_) {
       out.push_back(std::move(pool_[e.slot]));
       pool_[e.slot] = nullptr;

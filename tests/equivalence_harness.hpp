@@ -36,6 +36,7 @@
 
 #include "cluster/experiment.hpp"
 #include "cluster/trace.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "faultsim/fault_plan.hpp"
 #include "netsim/allocator.hpp"
@@ -123,6 +124,11 @@ struct RunSpec {
   netsim::SimLoopMode loop = netsim::SimLoopMode::kLazy;
   netsim::AllocMode alloc = netsim::AllocMode::kIncremental;
   const faultsim::FaultPlan* plan = nullptr;  // nullptr = fault-free
+  // Intra-run parallelism width (ExperimentConfig::threads): 1 = serial,
+  // 0 = every shared-pool participant, N = at most N. Results must be
+  // bit-identical at every setting -- that IS the axis
+  // tests/test_parallel_equivalence.cpp sweeps.
+  unsigned threads = 1;
 };
 
 inline cluster::ExperimentResult run_cluster(
@@ -137,6 +143,7 @@ inline cluster::ExperimentResult run_cluster(
   cfg.loop_mode = spec.loop;
   cfg.alloc_mode = spec.alloc;
   cfg.fault_plan = spec.plan;
+  cfg.threads = spec.threads;
   return cluster::run_experiment(jobs, cfg);
 }
 
@@ -269,6 +276,10 @@ struct ScenarioOptions {
   // capacity-epoch invalidation path of the incremental allocator.
   bool capacity_churn = false;
   netsim::NetworkScheduler* sched = nullptr;  // nullptr = fair sharing
+  // Intra-run parallelism width (see RunSpec::threads). Crank `flows` past
+  // the simulator's kParallelBatch (512 active) to exercise the wide
+  // stamping / heap-prep paths, not just the allocator fill.
+  unsigned threads = 1;
 };
 
 struct ScenarioOutcome {
@@ -288,6 +299,9 @@ inline ScenarioOutcome run_sim_scenario(std::uint64_t seed,
   auto fabric = topology::make_big_switch(8, gbps(10));
   netsim::Simulator sim(&fabric.topo, opt.loop, opt.alloc);
   if (opt.sched != nullptr) sim.set_scheduler(opt.sched);
+  if (opt.threads != 1) {
+    sim.set_parallelism(&ThreadPool::shared(), opt.threads);
+  }
 
   ScenarioOutcome out;
   sim.add_flow_listener(

@@ -1,0 +1,296 @@
+// Golden-equivalence suite for intra-run parallelism (DESIGN.md §10).
+//
+// The contract under test: every data-parallel section the shared
+// ThreadPool powers -- per-component water-fill in the RateAllocator,
+// active-flow stamping and completion-heap preparation in the Simulator,
+// group-cache validation in the EchelonFlow-MADD scheduler, per-worker
+// trace shards in obs -- produces results *bit-identical* to the serial
+// path at ANY thread count. Parallelism here is a pure speed knob: the
+// parallel sections execute the same floating-point expressions on the
+// same operands as the serial loops and merge in a deterministic
+// (ascending-component / active-order) sequence, so nothing observable may
+// move. The suites sweep the threads axis {1, 2, 8, 0 = all participants}
+// across:
+//
+//   1. ThreadPool / WorkerScratch unit semantics (coverage, lowest-index
+//      exception, nested-dispatch inlining, pass epochs),
+//   2. the full scheduler x fabric cluster matrix, fault-free and under a
+//      chaos fault plan, in both allocator modes,
+//   3. flow-detail trace streams (per-worker kCompFill shards must merge
+//      into the exact serial emission order),
+//   4. a simulator-level ~800-flow scenario that pushes the active set past
+//      kParallelBatch so the wide stamping / heap-prep paths actually run.
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "common/scratch.hpp"
+#include "equivalence_harness.hpp"
+#include "obs/trace.hpp"
+
+namespace echelon {
+namespace {
+
+namespace eqh = ::echelon::eqh;
+
+// The threads axis every equivalence sweep walks: serial baseline, a small
+// width, the acceptance-criteria width, and "all shared-pool participants".
+// The shared pool is sized max(8, hardware_concurrency), so 2 and 8 truly
+// dispatch to distinct workers even on small CI boxes.
+constexpr unsigned kThreadAxis[] = {2, 8, 0};
+
+// ============================================================================
+// 1. ThreadPool semantics
+// ============================================================================
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastEightParticipants) {
+  // The 8-thread equivalence axis must genuinely multithread everywhere.
+  EXPECT_GE(ThreadPool::shared().concurrency(), 8u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnceAtAnyWidth) {
+  ThreadPool& pool = ThreadPool::shared();
+  for (const unsigned width : {1u, 2u, 3u, 8u, 0u}) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.run(kN, width, [&](unsigned, std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "width " << width << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsSerialAndParallel) {
+  ThreadPool& pool = ThreadPool::shared();
+  for (const unsigned width : {1u, 8u}) {
+    std::atomic<std::size_t> attempted{0};
+    bool caught = false;
+    try {
+      pool.run(64, width, [&](unsigned, std::size_t i) {
+        attempted.fetch_add(1, std::memory_order_relaxed);
+        if (i == 7 || i == 3 || i == 40) {
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "fail@3") << "width " << width;
+    }
+    EXPECT_TRUE(caught);
+    // Exceptions do not abort the dispatch: every index is still attempted
+    // (matching the sweep runner's historical contract).
+    EXPECT_EQ(attempted.load(), 64u) << "width " << width;
+  }
+}
+
+TEST(ThreadPoolTest, NestedDispatchRunsInlineSerially) {
+  ThreadPool& pool = ThreadPool::shared();
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  std::atomic<std::size_t> inner_total{0};
+  std::atomic<bool> saw_region_flag{true};
+  pool.run(8, 8, [&](unsigned, std::size_t) {
+    if (!ThreadPool::in_parallel_region()) saw_region_flag = false;
+    // A nested run must not wait on pool workers (they are busy running
+    // *this* lambda) -- it degrades to an inline serial loop on the
+    // calling worker. Deadlock here would hang the test.
+    std::atomic<std::size_t> local{0};
+    pool.run(16, 8, [&](unsigned w, std::size_t) {
+      EXPECT_EQ(w, 0u);  // inline execution reports worker 0
+      local.fetch_add(1, std::memory_order_relaxed);
+    });
+    inner_total.fetch_add(local.load(), std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_EQ(inner_total.load(), 8u * 16u);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPoolTest, WidthOneRunsOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  ThreadPool::shared().run(4, 1, [&](unsigned w, std::size_t) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(WorkerScratchTest, ValuesPersistAcrossPassesAndInitOverloadResets) {
+  WorkerScratch<int> ws;
+  ws.begin_pass(4);
+  for (unsigned w = 0; w < 4; ++w) ws.at(w) = static_cast<int>(w) + 10;
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(ws.read(w), static_cast<int>(w) + 10);
+  // Plain begin_pass keeps values (arena semantics) ...
+  ws.begin_pass(4);
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(ws.read(w), static_cast<int>(w) + 10);
+  // ... while the init overload resets every slot without binding owners.
+  ws.begin_pass(4, -1);
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(ws.read(w), -1);
+}
+
+// ============================================================================
+// 2. Cluster-level threads-axis bit identity
+// ============================================================================
+
+using ParallelEquivalence = eqh::SchedFabricTest;
+
+TEST_P(ParallelEquivalence, ThreadsAxisBitIdenticalBothAllocModes) {
+  const auto [scheduler, fabric] = GetParam();
+  const auto jobs = eqh::small_trace(/*seed=*/91, /*jitter=*/0.1);
+
+  for (const auto alloc :
+       {netsim::AllocMode::kIncremental, netsim::AllocMode::kFullRecompute}) {
+    eqh::RunSpec spec;
+    spec.scheduler = scheduler;
+    spec.fabric = fabric;
+    spec.alloc = alloc;
+    spec.threads = 1;
+    const auto serial = eqh::run_cluster(jobs, spec);
+    for (const unsigned threads : kThreadAxis) {
+      spec.threads = threads;
+      const auto wide = eqh::run_cluster(jobs, spec);
+      eqh::expect_same_result(serial, wide);
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, ChaosFaultPlanThreadsAxisBitIdentical) {
+  const auto [scheduler, fabric] = GetParam();
+  const auto jobs = eqh::small_trace(/*seed=*/47);
+
+  faultsim::ChaosProfile profile;
+  profile.seed = 9;
+  profile.horizon = 1.5;
+  profile.link_faults = 3;
+  profile.brownouts = 2;
+  profile.stragglers = 2;
+  const auto fabric_shape = eqh::run_cluster_fabric(fabric);
+  std::size_t workers = 0;
+  for (const auto& j : jobs) workers += static_cast<std::size_t>(j.ranks);
+  const faultsim::FaultPlan plan =
+      faultsim::from_chaos(profile, fabric_shape.topo, workers, jobs.size());
+
+  eqh::RunSpec spec;
+  spec.scheduler = scheduler;
+  spec.fabric = fabric;
+  spec.plan = &plan;
+  spec.threads = 1;
+  const auto serial = eqh::run_cluster(jobs, spec);
+  for (const unsigned threads : kThreadAxis) {
+    spec.threads = threads;
+    const auto wide = eqh::run_cluster(jobs, spec);
+    eqh::expect_same_result(serial, wide);
+  }
+}
+
+ECHELON_INSTANTIATE_SCHED_FABRIC(ParallelEquivalence);
+
+// ============================================================================
+// 3. Trace streams: per-worker shards merge into the serial emission order
+// ============================================================================
+
+cluster::ExperimentResult run_traced(const std::vector<cluster::JobSpec>& jobs,
+                                     const eqh::RunSpec& spec,
+                                     obs::TraceSink* sink) {
+  cluster::ExperimentConfig cfg;
+  cfg.scheduler = spec.scheduler;
+  cfg.fabric = spec.fabric;
+  cfg.hosts = 16;
+  cfg.port_capacity = gbps(25);
+  cfg.oversubscription =
+      spec.fabric == cluster::FabricKind::kLeafSpine ? 2.0 : 1.0;
+  cfg.alloc_mode = spec.alloc;
+  cfg.fault_plan = spec.plan;
+  cfg.threads = spec.threads;
+  cfg.trace_sink = sink;
+  cfg.trace_detail = obs::TraceDetail::kFlow;
+  return cluster::run_experiment(jobs, cfg);
+}
+
+void expect_same_trace(const obs::TraceRecorder& a,
+                       const obs::TraceRecorder& b) {
+  ASSERT_EQ(a.recorded(), b.recorded());
+  const auto ea = a.events();
+  const auto eb = b.events();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+    EXPECT_BITEQ(ea[i].t, eb[i].t);
+    EXPECT_EQ(ea[i].id, eb[i].id);
+    EXPECT_EQ(ea[i].job, eb[i].job);
+    EXPECT_EQ(ea[i].ctx, eb[i].ctx);
+    EXPECT_BITEQ(ea[i].value, eb[i].value);
+  }
+}
+
+using TracedParallelEquivalence = eqh::SchedFabricTest;
+
+TEST_P(TracedParallelEquivalence, FlowDetailTraceStreamIdenticalAcrossThreads) {
+  const auto [scheduler, fabric] = GetParam();
+  const auto jobs = eqh::small_trace(/*seed=*/73, /*jitter=*/0.05);
+  eqh::RunSpec spec;
+  spec.scheduler = scheduler;
+  spec.fabric = fabric;
+  // kFullRecompute maximizes per-pass fill components, i.e. kCompFill
+  // traffic through the per-worker shards.
+  spec.alloc = netsim::AllocMode::kFullRecompute;
+
+  spec.threads = 1;
+  obs::TraceRecorder serial_rec;
+  const auto serial = run_traced(jobs, spec, &serial_rec);
+  EXPECT_GT(serial_rec.count(obs::TraceKind::kCompFill), 0u);
+
+  for (const unsigned threads : kThreadAxis) {
+    spec.threads = threads;
+    obs::TraceRecorder wide_rec;
+    const auto wide = run_traced(jobs, spec, &wide_rec);
+    eqh::expect_same_result(serial, wide);
+    expect_same_trace(serial_rec, wide_rec);
+  }
+}
+
+ECHELON_INSTANTIATE_SCHED_FABRIC(TracedParallelEquivalence);
+
+// ============================================================================
+// 4. Simulator-level wide paths (active set past kParallelBatch)
+// ============================================================================
+
+TEST(SimLevelParallelTest, LargeActiveSetBitIdenticalAcrossThreads) {
+  // ~800 concurrently-active flows on an 8-host big switch: comfortably
+  // past the simulator's 512-active parallel-stamping cutoff, so the wide
+  // remaining-bytes stamp and completion-heap preparation paths execute
+  // (not just the allocator fill). Stepped run + capacity churn drag in the
+  // deadline-stamp and cache-invalidation machinery under parallelism too.
+  for (const auto alloc :
+       {netsim::AllocMode::kIncremental, netsim::AllocMode::kFullRecompute}) {
+    eqh::ScenarioOptions opt;
+    opt.alloc = alloc;
+    opt.flows = 800;
+    opt.stepped = true;
+    opt.capacity_churn = true;
+    opt.threads = 1;
+    const auto serial = eqh::run_sim_scenario(/*seed=*/2024, opt);
+    ASSERT_EQ(serial.trace.size(), 800u);
+
+    for (const unsigned threads : kThreadAxis) {
+      opt.threads = threads;
+      const auto wide = eqh::run_sim_scenario(/*seed=*/2024, opt);
+      ASSERT_EQ(wide.trace.size(), serial.trace.size());
+      for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+        EXPECT_EQ(serial.trace[i].flow, wide.trace[i].flow) << "event " << i;
+        EXPECT_BITEQ(serial.trace[i].finish, wide.trace[i].finish);
+      }
+      EXPECT_EQ(serial.alloc_stats.passes, wide.alloc_stats.passes);
+      EXPECT_EQ(serial.alloc_stats.components, wide.alloc_stats.components);
+      EXPECT_EQ(serial.alloc_stats.components_reused,
+                wide.alloc_stats.components_reused);
+      EXPECT_EQ(serial.alloc_stats.components_filled,
+                wide.alloc_stats.components_filled);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace echelon

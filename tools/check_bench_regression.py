@@ -2,11 +2,11 @@
 """Perf-smoke regression gate for the hot-path benchmarks.
 
 Compares fresh google-benchmark JSON output (bench_allocator,
-bench_coordinator_scale, bench_simloop) against the checked-in baselines in
-BENCH_hotpath.json and fails if any benchmark regressed by more than the
-tolerance. Run from CI after the perf-smoke leg; deliberately NOT a ctest --
-it needs the baseline file and a calibrated machine-speed correction, both
-of which live outside the test binaries.
+bench_coordinator_scale, bench_simloop, bench_parallel_alloc) against the
+checked-in baselines in BENCH_hotpath.json and fails if any benchmark
+regressed by more than the tolerance. Run from CI after the perf-smoke leg;
+deliberately NOT a ctest -- it needs the baseline file and a calibrated
+machine-speed correction, both of which live outside the test binaries.
 
 CI machines are not the machine the baseline was recorded on, so raw
 nanosecond comparisons are meaningless there. Instead the check is
@@ -18,12 +18,26 @@ a *skewed* slowdown -- e.g. an observability branch creeping into one hot
 loop while the others stay put -- does not. Use --no-normalize for
 same-machine comparisons against the recorded absolute numbers.
 
+Thread-scaling family (throughput_vs_threads, EXPERIMENTS.md EXT-P):
+benchmarks whose name carries a "threads:" argument scale with the machine
+*shape*, not just its speed -- an 8-thread fill on a 2-core box is a
+different experiment from the same fill on a 32-core box, and a uniform
+calibration factor cannot correct for that. Two rules therefore apply:
+
+  1. thread-family benchmarks never contribute to the machine-speed
+     calibration median (their ratios would skew it on differently-shaped
+     hosts), and
+  2. they are gated only when the fresh run's echelon_hardware_concurrency
+     context matches the baseline run's; on a shape mismatch they are
+     reported but skipped, with a note.
+
 Usage:
   bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
   bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
   bench_simloop           --benchmark_out=simloop.json --benchmark_out_format=json
+  bench_parallel_alloc    --benchmark_out=par.json --benchmark_out_format=json
   tools/check_bench_regression.py --baseline BENCH_hotpath.json \
-      --tolerance 2.0 alloc.json coord.json simloop.json
+      --tolerance 2.0 alloc.json coord.json simloop.json par.json
 
 Exit status: 0 = all within tolerance, 1 = regression, 2 = usage/IO error.
 """
@@ -33,40 +47,57 @@ import json
 import statistics
 import sys
 
+# Benchmark names carrying this argument tag belong to the thread-scaling
+# family (see module docstring).
+THREAD_FAMILY_TAG = "threads:"
+
+
+def is_thread_family(name):
+    return THREAD_FAMILY_TAG in name
+
 
 def load_baseline(path):
-    """name -> baseline real_time ns, from BENCH_hotpath.json's runs blob."""
+    """(name -> baseline real_time ns, name -> run hardware concurrency)
+    from BENCH_hotpath.json's runs blob."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
+    hw = {}
     for run in doc.get("runs", {}).values():
+        run_hw = run.get("context", {}).get("echelon_hardware_concurrency")
         for b in run.get("benchmarks", []):
             if b.get("run_type", "iteration") != "iteration":
                 continue
             times[b["name"]] = float(b["real_time"])
+            if run_hw is not None:
+                hw[b["name"]] = str(run_hw)
     if not times:
         raise ValueError(f"{path}: no benchmark baselines found under 'runs'")
-    return times
+    return times, hw
 
 
 def load_fresh(paths, require_metrics_context):
-    """name -> fresh real_time ns across all given benchmark JSON files."""
+    """(name -> fresh real_time ns, name -> run hardware concurrency)
+    across all given benchmark JSON files."""
     times = {}
+    hw = {}
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
-        if require_metrics_context and "echelon_metrics" not in doc.get(
-            "context", {}
-        ):
+        context = doc.get("context", {})
+        if require_metrics_context and "echelon_metrics" not in context:
             raise ValueError(
                 f"{path}: context is missing the echelon_metrics snapshot "
                 "(bench_util.hpp should attach it)"
             )
+        run_hw = context.get("echelon_hardware_concurrency")
         for b in doc.get("benchmarks", []):
             if b.get("run_type", "iteration") != "iteration":
                 continue
             times[b["name"]] = float(b["real_time"])
-    return times
+            if run_hw is not None:
+                hw[b["name"]] = str(run_hw)
+    return times, hw
 
 
 def main():
@@ -92,8 +123,8 @@ def main():
     args = ap.parse_args()
 
     try:
-        baseline = load_baseline(args.baseline)
-        fresh = load_fresh(args.fresh, args.require_metrics_context)
+        baseline, baseline_hw = load_baseline(args.baseline)
+        fresh, fresh_hw = load_fresh(args.fresh, args.require_metrics_context)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -105,17 +136,31 @@ def main():
         return 2
 
     ratios = {name: fresh[name] / baseline[name] for name in common}
-    calibration = 1.0 if args.no_normalize else statistics.median(
-        ratios.values()
-    )
+    # Machine-speed calibration from the shape-insensitive benchmarks only
+    # (falling back to everything if the run is thread-family-only).
+    calib_pool = [r for n, r in ratios.items() if not is_thread_family(n)]
+    if not calib_pool:
+        calib_pool = list(ratios.values())
+    calibration = 1.0 if args.no_normalize else statistics.median(calib_pool)
     limit = 1.0 + args.tolerance / 100.0
 
     print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
-    print(f"machine-speed calibration: x{calibration:.3f} "
-          f"({'raw' if args.no_normalize else 'median fresh/baseline'})")
+    calib_kind = ("raw" if args.no_normalize
+                  else "median fresh/baseline, thread-family excluded")
+    print(f"machine-speed calibration: x{calibration:.3f} ({calib_kind})")
     failures = []
+    shape_skipped = []
     for name in common:
         norm = ratios[name] / calibration
+        if is_thread_family(name) and baseline_hw.get(name) != fresh_hw.get(
+            name
+        ):
+            shape_skipped.append(name)
+            print(f"  {name:<40} base {baseline[name]:>12.0f} ns  "
+                  f"fresh {fresh[name]:>12.0f} ns  norm x{norm:.3f}  "
+                  f"SKIPPED (hw {baseline_hw.get(name)} -> "
+                  f"{fresh_hw.get(name)})")
+            continue
         status = "ok"
         if norm > limit:
             status = f"REGRESSED {100.0 * (norm - 1.0):+.2f}%"
@@ -127,6 +172,9 @@ def main():
     if missing:
         print(f"note: {len(missing)} baseline benchmarks not in this run "
               f"(e.g. {missing[0]})")
+    if shape_skipped:
+        print(f"note: {len(shape_skipped)} thread-scaling benchmark(s) "
+              "skipped: machine shape differs from the baseline recording")
 
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "

@@ -20,6 +20,11 @@
 //   --threads N (default 0 = one per hardware thread; 1 = serial)
 //     scheduler comparisons run through cluster::run_sweep; output is
 //     identical for any thread count.
+//   --intra-threads N (default 1 = serial; 0 = all shared-pool workers)
+//     intra-run data parallelism inside each experiment (per-component
+//     water-fill, flow stamping, heap prep; DESIGN.md §10). Also
+//     bit-identical at any setting, and safe to combine with --threads:
+//     nested dispatches run inline-serially on the shared pool.
 //   --fault-plan PATH   replay a scripted fault plan (src/faultsim format;
 //                       see DESIGN.md §8) against every scheduler
 //   --chaos N           generate N link faults + N brownouts + N stragglers
@@ -426,6 +431,10 @@ int cmd_cluster(const Args& args) {
     cfg.scheduler = kind;
     cfg.hosts = hosts;
     cfg.port_capacity = gbps(cap_gbps);
+    // Intra-run data parallelism (per-component water-fill etc.); results
+    // are bit-identical at any setting, so this is purely a speed knob.
+    cfg.threads =
+        static_cast<unsigned>(std::max(0, args.geti("intra-threads", 1)));
     if (have_plan) cfg.fault_plan = &plan;
     if (obs_args.tracing() && !obs_args.trace_out.empty()) {
       recorders.push_back(std::make_unique<obs::TraceRecorder>());
