@@ -1,0 +1,188 @@
+// Equivalence-class water-fill vs per-flow water-fill (DESIGN.md §11).
+//
+// Collective traffic is many flows over few routes: a 1024-GPU ring emits
+// thousands of flows but only as many distinct routed paths as there are
+// adjacent host pairs. The class-granularity fill exploits that by running
+// the max-min loop over (route, weight, cap) equivalence classes and
+// fanning rates back with one dense scatter, so per-pass cost scales with
+// *distinct routes*, not flows. This benchmark quantifies both sides of
+// that bet on a 64-host big-switch fabric:
+//
+//   * The grid (flows x routes): weight-1 flows with MADD-style staggered
+//     per-route caps (what the Echelon/Coflow schedulers emit), so every
+//     route is one (route, weight, cap) class and the progressive fill
+//     freezes one class per round -- the multi-round worst case where the
+//     per-flow fill's cost is O(flows x rounds) and the class fill's is
+//     O(routes x rounds). The headline comparison (BENCH_hotpath.json
+//     "speedup_class_fill_64k_512routes") is flows:65536/routes:512, class
+//     vs per-flow, budget >= 5x.
+//   * AllDistinct -- the adversarial input: every flow carries a direct
+//     path write and no interned RouteId, so the partition degenerates to
+//     65536 sentinel singleton classes and the class fill pays its
+//     bookkeeping with zero compression. Overhead budget vs the per-flow
+//     fill is <= 1.05x ("overhead_class_fill_all_distinct").
+//
+// Benchmark names carry a "routes:" argument; tools/check_bench_regression.py
+// treats that as a structural family (excluded from the machine-speed
+// calibration median, like "threads:"). Emit JSON for trajectory tracking
+// with: bench_route_class --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "netsim/allocator.hpp"
+#include "netsim/flow.hpp"
+#include "topology/builders.hpp"
+#include "topology/route_table.hpp"
+
+namespace {
+
+using namespace echelon;
+
+constexpr int kHosts = 64;
+
+struct Population {
+  topology::BuiltFabric fabric;
+  topology::RouteTable table;
+  std::vector<netsim::Flow> flows;
+  std::vector<netsim::Flow*> active;
+
+  Population() : fabric(topology::make_big_switch(kHosts, gbps(100))),
+                 table(&fabric.topo) {}
+};
+
+// `n_flows` weight-1 flows striped over `n_routes` distinct (src, dst)
+// pairs, every flow's path interned through one RouteTable so flows on the
+// same pair share the RouteId the class partition groups on. Each route
+// carries a distinct staggered rate cap, every one binding and sized so no
+// link saturates (sum of caps per port < capacity): the fill freezes
+// exactly one class per round, the progressive-filling worst case.
+Population make_population(int n_flows, int n_routes, bool interned) {
+  Population p;
+  std::vector<RouteId> routes;
+  routes.reserve(static_cast<std::size_t>(n_routes));
+  for (int r = 0; r < n_routes; ++r) {
+    const int src = r % kHosts;
+    int dst = (src + 1 + r / kHosts) % kHosts;
+    if (dst == src) dst = (dst + 1) % kHosts;
+    const auto rid =
+        p.table.route(p.fabric.hosts[static_cast<std::size_t>(src)],
+                      p.fabric.hosts[static_cast<std::size_t>(dst)],
+                      static_cast<std::uint64_t>(r));
+    routes.push_back(*rid);
+  }
+  p.flows.reserve(static_cast<std::size_t>(n_flows));
+  for (int i = 0; i < n_flows; ++i) {
+    netsim::Flow f;
+    f.id = FlowId{static_cast<std::uint64_t>(i)};
+    f.spec.size = 1e12;
+    f.remaining = f.spec.size;
+    f.weight = 1.0;
+    const int r = i % n_routes;
+    const RouteId rid = routes[static_cast<std::size_t>(r)];
+    f.path = p.table.path(rid);
+    // Strictly increasing per-route caps; ~1024 flows per port at the top
+    // grid point average ~0.03 Gbps each, well under the 100 Gbps port.
+    f.rate_cap = gbps(0.02 * (1.0 + static_cast<double>(r) /
+                                        static_cast<double>(n_routes)));
+    // When not interned the allocator sees a direct path write (invalid
+    // RouteId) and must give the flow its own sentinel singleton class.
+    if (interned) f.route = rid;
+    p.flows.push_back(std::move(f));
+  }
+  for (auto& f : p.flows) p.active.push_back(&f);
+  return p;
+}
+
+void fill_loop(benchmark::State& state, Population& p, netsim::FillMode fill) {
+  netsim::RateAllocator alloc(&p.fabric.topo, netsim::AllocMode::kFullRecompute,
+                              fill);
+  alloc.allocate(p.active);  // warm the arenas: steady state allocates nothing
+  for (auto _ : state) {
+    alloc.allocate(p.active);
+    benchmark::DoNotOptimize(p.active);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.flows.size()));
+  const auto& s = alloc.stats();
+  state.counters["flows_per_class"] = benchmark::Counter(
+      s.classes == 0 ? 1.0
+                     : static_cast<double>(s.class_members) /
+                           static_cast<double>(s.classes));
+}
+
+// --- the grid: many flows, few routes ----------------------------------------
+
+void BM_RouteClassFill(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(1)),
+                                 /*interned=*/true);
+  fill_loop(state, p, netsim::FillMode::kClass);
+}
+BENCHMARK(BM_RouteClassFill)
+    ->ArgNames({"flows", "routes"})
+    ->Args({16384, 64})
+    ->Args({16384, 512})
+    ->Args({65536, 64})
+    ->Args({65536, 512});
+
+void BM_RouteClassFillPerFlow(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(1)),
+                                 /*interned=*/true);
+  fill_loop(state, p, netsim::FillMode::kPerFlow);
+}
+BENCHMARK(BM_RouteClassFillPerFlow)
+    ->ArgNames({"flows", "routes"})
+    ->Args({16384, 64})
+    ->Args({16384, 512})
+    ->Args({65536, 64})
+    ->Args({65536, 512});
+
+// --- adversarial: every route distinct ---------------------------------------
+//
+// 512 underlying paths but no interned ids: the class fill sees 65536
+// singleton classes. The delta between these two numbers is the pure cost
+// of the class partition + scatter when it buys nothing.
+
+void BM_RouteClassFillAllDistinct(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)),
+                                 /*n_routes=*/512, /*interned=*/false);
+  fill_loop(state, p, netsim::FillMode::kClass);
+}
+BENCHMARK(BM_RouteClassFillAllDistinct)
+    ->ArgNames({"flows"})
+    ->Args({65536});
+
+void BM_RouteClassFillAllDistinctPerFlow(benchmark::State& state) {
+  Population p = make_population(static_cast<int>(state.range(0)),
+                                 /*n_routes=*/512, /*interned=*/false);
+  fill_loop(state, p, netsim::FillMode::kPerFlow);
+}
+BENCHMARK(BM_RouteClassFillAllDistinctPerFlow)
+    ->ArgNames({"flows"})
+    ->Args({65536});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool not_release = echelon::benchutil::warn_if_not_release();
+  benchmark::AddCustomContext("echelon_build_type",
+                              echelon::benchutil::kBuildType);
+  if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  benchmark::AddCustomContext(
+      "echelon_hardware_concurrency",
+      echelon::benchutil::hardware_concurrency_context());
+  benchmark::AddCustomContext("echelon_pool_participants",
+                              echelon::benchutil::pool_participants_context());
+  benchmark::AddCustomContext("echelon_metrics",
+                              echelon::benchutil::hotpath_metrics_context());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

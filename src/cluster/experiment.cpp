@@ -98,7 +98,8 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
          .uplink = hosts_per_leaf * config.port_capacity /
                    (spines * config.oversubscription)});
   }
-  netsim::Simulator sim(&fabric.topo, config.loop_mode, config.alloc_mode);
+  netsim::Simulator sim(&fabric.topo, config.loop_mode, config.alloc_mode,
+                        config.fill_mode);
 
   // Scheduler stack. The coordinator owns its registry; other schedulers
   // share a standalone one (attached for tardiness measurement either way).
@@ -300,11 +301,26 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     m.counter("alloc.components").set(as.components);
     m.counter("alloc.components_reused").set(as.components_reused);
     m.counter("alloc.components_filled").set(as.components_filled);
+    m.counter("alloc.classes").set(as.classes);
+    m.counter("alloc.class_members").set(as.class_members);
+    // Fill-work compression from equivalence classing: mean flows per class
+    // over everything the fills touched (1.0 = no sharing; higher = fewer
+    // water-fill units than flows).
+    m.gauge("alloc.flows_per_class")
+        .set(as.classes == 0 ? 1.0
+                             : static_cast<double>(as.class_members) /
+                                   static_cast<double>(as.classes));
     m.gauge("alloc.cache_hit_rate")
         .set(as.components == 0
                  ? 0.0
                  : static_cast<double>(as.components_reused) /
                        static_cast<double>(as.components));
+
+    const topology::RouteTable::Stats& rs = sim.routes().stats();
+    m.counter("routes.lookups").set(rs.lookups);
+    m.counter("routes.cache_hits").set(rs.hits);
+    m.counter("routes.computations").set(rs.computations);
+    m.counter("routes.distinct").set(sim.routes().size());
 
     if (coordinator) {
       m.counter("coordinator.heuristic_runs")

@@ -74,6 +74,12 @@ struct ExperimentConfig {
   // tests/test_alloc_equivalence.cpp (results are bit-identical).
   netsim::AllocMode alloc_mode = netsim::AllocMode::kIncremental;
 
+  // Water-fill granularity. kClass (the production default) fills one unit
+  // per (route, weight, cap) equivalence class and fans rates back out;
+  // kPerFlow fills every flow individually. Results are bit-identical
+  // (tests/test_route_class_equivalence.cpp pins this differentially).
+  netsim::FillMode fill_mode = netsim::FillMode::kClass;
+
   // Optional deterministic fault script, replayed by a FaultInjector during
   // the run (DESIGN.md §8). Must outlive run_experiment; read-only, so one
   // plan can be shared across sweep threads. nullptr = fault-free. A

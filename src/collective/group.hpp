@@ -36,7 +36,11 @@ struct FlowTag {
   std::uint64_t signature_base = 0;
 
   // Stamps job/group/index/signature onto a flow spec and advances the
-  // index. Collective helpers call this once per emitted flow.
+  // index. Collective helpers call this once per emitted flow. The signature
+  // doubles as the route hint: structurally identical flows across training
+  // iterations get the same ECMP seed, so they intern to the same route and
+  // collapse into one allocator equivalence class (signature 0 keeps the
+  // historical per-flow-id seeding).
   void stamp(netsim::FlowSpec& spec) noexcept {
     spec.job = job;
     spec.group = group;
@@ -45,6 +49,7 @@ struct FlowTag {
         signature_base == 0
             ? 0
             : signature_base + static_cast<std::uint64_t>(next_index);
+    spec.route_hint = spec.signature;
     ++next_index;
   }
 };

@@ -59,6 +59,7 @@ struct JobTag {};
 struct EchelonFlowTag {};
 struct CoflowTag {};
 struct WorkerTag {};
+struct RouteTag {};
 
 using NodeId = TaggedId<NodeTag>;
 using LinkId = TaggedId<LinkTag>;
@@ -68,6 +69,10 @@ using JobId = TaggedId<JobTag>;
 using EchelonFlowId = TaggedId<EchelonFlowTag>;
 using CoflowId = TaggedId<CoflowTag>;
 using WorkerId = TaggedId<WorkerTag>;
+// Dense index into a topology::RouteTable: one id per *distinct* routed
+// path ever interned. Append-only -- a RouteId, once handed out, resolves
+// to the same link sequence for the lifetime of the table.
+using RouteId = TaggedId<RouteTag>;
 
 // Monotonic id factory. Not thread-safe by design: the simulator is
 // single-threaded and determinism matters more than concurrency here.

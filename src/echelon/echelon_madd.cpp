@@ -39,7 +39,7 @@ bool EchelonMaddScheduler::cache_valid(const netsim::Flow& f) const {
   if (idx >= meta_.size() || meta_[idx].slot == kNoSlot) return false;
   const Resolved r = resolve(f);
   const FlowMeta& m = meta_[idx];
-  return m.key == r.key && m.deadline == r.deadline;
+  return m.key == r.key && m.deadline == r.deadline && m.route == f.route;
 }
 
 void EchelonMaddScheduler::add_to_cache(const netsim::Flow& f) {
@@ -77,7 +77,7 @@ void EchelonMaddScheduler::add_to_cache(const netsim::Flow& f) {
   g.members.insert(pos, CachedMember{f.id, r.deadline, nullptr});
   const std::size_t idx = f.id.value();
   if (meta_.size() <= idx) meta_.resize(idx + 1);
-  meta_[idx] = FlowMeta{slot, r.key, r.deadline};
+  meta_[idx] = FlowMeta{slot, r.key, r.deadline, f.route};
   ++cached_members_;
 }
 

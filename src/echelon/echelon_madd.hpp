@@ -147,6 +147,10 @@ class EchelonMaddScheduler final : public netsim::NetworkScheduler {
     std::uint32_t slot = kNoSlot;
     std::uint64_t key = 0;
     SimTime deadline = 0.0;
+    // Interned route identity at caching time: a fault-driven reroute gives
+    // the flow a different RouteId, which cache_valid detects so exactly the
+    // rerouted flows re-enter the cache (path bytes are never compared).
+    RouteId route;
   };
   struct Resolved {
     std::uint64_t key;

@@ -211,9 +211,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
         }
         const netsim::Flow& f = sim_->flow(id);
         if (!f.spec.job.valid() || f.spec.job.value() != ev.target) continue;
-        auto path = f.spec.src == f.spec.dst
-                        ? std::optional<topology::Path>(topology::Path{})
-                        : topo_->route(f.spec.src, f.spec.dst, id.value());
+        auto path = sim_->route_flow(id);
         if (path.has_value()) {
           resume(id, std::move(*path));
         } else {
@@ -241,7 +239,7 @@ void FaultInjector::sweep_broken_paths() {
       }
     }
     if (!broken) continue;
-    auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
+    auto path = sim_->route_flow(id);
     if (path.has_value()) {
       sim_->reroute_flow(id, std::move(*path));
       ++outcome(id).reroutes;
@@ -257,8 +255,7 @@ void FaultInjector::try_resume_all() {
   for (const FlowId id : parked) {
     if (!is_parked(id)) continue;
     if (park_records_.at(id.value()).reason == ParkReason::kAbort) continue;
-    const netsim::Flow& f = sim_->flow(id);
-    auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
+    auto path = sim_->route_flow(id);
     if (!path.has_value()) continue;  // stay parked; retry timer still runs
     resume(id, std::move(*path));
   }
@@ -289,7 +286,7 @@ void FaultInjector::retry(FlowId id) {
   ParkRecord& rec = park_records_.at(id.value());
   if (rec.reason == ParkReason::kAbort) return;  // waits for job restart
   const netsim::Flow& f = sim_->flow(id);
-  auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
+  auto path = sim_->route_flow(id);
   if (path.has_value()) {
     resume(id, std::move(*path));
     return;

@@ -36,16 +36,24 @@
 // field writes that bypass the setters are still detected. Arrivals miss the
 // cache (no record yet); departures change the member list and miss too.
 //
+// Equivalence-class fill (DESIGN.md §11): collectives emit thousands of
+// flows over a handful of distinct routed paths, so each component's
+// members are additionally partitioned into (interned route, weight, cap)
+// equivalence classes and the production fill (FillMode::kClass) iterates
+// over K classes instead of N flows -- per-pass cost scales with distinct
+// routes, not flows. The per-flow granularity survives as the reference
+// the differential suite compares bit-for-bit.
+//
 // Hot-path data layout: the allocator runs after every scheduler control()
 // pass, so its per-round state is arena-backed (see DESIGN.md). Per-link
 // load lives in an epoch-stamped dense array indexed by LinkId; the
-// union-find, component buckets and unfrozen / next working sets are
-// reusable member buffers; and each flow's link indices are flattened once
-// per pass into a contiguous u32 arena so the water-filling inner loops walk
-// a flat array instead of re-resolving LinkIds through a hash map.
-// Steady-state allocate() calls perform no heap allocations after warm-up --
-// in incremental mode this includes passes that hit or refill the cache with
-// a stable component structure.
+// union-find, component buckets, class partition and unfrozen / next
+// working sets are reusable member buffers; and each flow's link indices
+// are flattened once per pass into a contiguous u32 arena so the
+// water-filling inner loops walk a flat array instead of re-resolving
+// LinkIds through a hash map. Steady-state allocate() calls perform no heap
+// allocations after warm-up -- in incremental mode this includes passes
+// that hit or refill the cache with a stable component structure.
 
 #pragma once
 
@@ -68,6 +76,20 @@ namespace echelon::netsim {
 // the fill for components whose inputs are unchanged since their last fill.
 enum class AllocMode { kFullRecompute, kIncremental };
 
+// Water-fill granularity (DESIGN.md §11). Under weighted max-min, flows
+// sharing the same interned route, weight and cap are interchangeable: they
+// see identical link constraints, accumulate identical per-round
+// increments, and freeze together. kClass (the production path) therefore
+// partitions each component's members into such equivalence classes and
+// iterates the fill over K classes instead of N flows, fanning the
+// converged class rates back out in a serial flow-id-ascending scatter.
+// kPerFlow runs the same canonical fill with every member as its own unit
+// -- the reference granularity the class-vs-per-flow differential suite
+// compares against. Both granularities execute the identical sequence of
+// floating-point operations per unit and per link (grouping-invariant
+// form), so results, stats and traces are bit-identical.
+enum class FillMode { kPerFlow, kClass };
+
 // Weights at or below this epsilon are clamped up to it inside the
 // allocator. A zero or negative weight would otherwise divide-by-zero in
 // the water level computation (and previously tripped an assert in Debug
@@ -83,8 +105,9 @@ class RateAllocator {
   // passes see genuine arrival/departure/cap churn -- constructs its
   // allocator in kIncremental mode by default.
   explicit RateAllocator(const topology::Topology* topo,
-                         AllocMode mode = AllocMode::kFullRecompute)
-      : topo_(topo), mode_(mode) {}
+                         AllocMode mode = AllocMode::kFullRecompute,
+                         FillMode fill = FillMode::kClass)
+      : topo_(topo), mode_(mode), fill_(fill) {}
 
   // Overwrites `rate` on every flow in `flows`. Finished flows get rate 0.
   // Non-const: reuses the allocator's internal arenas across calls. Also
@@ -97,12 +120,14 @@ class RateAllocator {
   // pass emits one kAllocPass event (id = pass index, ctx = components seen
   // this pass, value = components water-filled this pass; reused = ctx -
   // value). With `per_component` additionally set (the Simulator passes
-  // detail >= kFlow), every water-filled component emits one kCompFill
-  // event (id = pass index, ctx = component id, value = member count) in
+  // detail >= kFlow), every water-filled component emits a kCompFill event
+  // (id = pass index, ctx = component id, value = member count) followed by
+  // a kClassFill event (same keys, value = equivalence-class count) in
   // ascending-component order -- parallel fills record into per-worker
   // shards and merge on the same key, so the stream is bit-identical at any
-  // thread count. nullptr (the default) detaches: the emission site reduces
-  // to a single pointer compare and the pass performs no extra work.
+  // thread count *and* across fill granularities. nullptr (the default)
+  // detaches: the emission site reduces to a single pointer compare and the
+  // pass performs no extra work.
   void set_trace(obs::TraceSink* sink, bool per_component = false) noexcept {
     trace_ = sink;
     trace_components_ = sink != nullptr && per_component;
@@ -123,6 +148,11 @@ class RateAllocator {
   }
 
   [[nodiscard]] AllocMode mode() const noexcept { return mode_; }
+  [[nodiscard]] FillMode fill_mode() const noexcept { return fill_; }
+  // Switch the fill granularity (differential testing). Takes effect on the
+  // next allocate() pass; both granularities produce bit-identical output,
+  // so switching mid-run is legal (the incremental cache stays valid).
+  void set_fill_mode(FillMode fill) noexcept { fill_ = fill; }
 
   // Flows whose `rate` differs from the value they carried into the last
   // allocate() pass, in span order. This is the dirty set the Simulator
@@ -139,6 +169,12 @@ class RateAllocator {
     std::uint64_t components = 0;         // components seen, cumulative
     std::uint64_t components_reused = 0;  // cache hits (rates restored)
     std::uint64_t components_filled = 0;  // water-filled (miss or full mode)
+    // Equivalence classes across water-filled components, cumulative. The
+    // fill iterates classes, so classes / class_members is the per-pass
+    // cost compression the route-interning layer achieved (1.0 = no
+    // sharing, every flow its own class).
+    std::uint64_t classes = 0;
+    std::uint64_t class_members = 0;      // member flows of those classes
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -150,6 +186,11 @@ class RateAllocator {
     // later touches union their slot with it, threading the union-find
     // through the dense link scratch without a per-pass edge list.
     std::uint32_t owner_slot = 0;
+    // Dedup marker for the per-component link list (each filled component
+    // walks its classes' routes once and lists every link exactly once).
+    // Links are component-disjoint, so the marker needs no reset within a
+    // pass; begin_pass() re-initializes it to 0.
+    std::uint8_t listed = 0;
   };
   // A contending flow plus the [begin, end) range of its cached link indices
   // in path_flat_ and its clamped effective weight (== Flow::weight for all
@@ -198,11 +239,22 @@ class RateAllocator {
   };
 
   [[nodiscard]] std::uint32_t uf_find(std::uint32_t slot) noexcept;
-  // Progressive filling restricted to one component (member slots into af_).
-  // Touches only the component's own links_/rate state plus `fs` -- safe to
-  // run concurrently for distinct components with distinct scratch.
-  void water_fill(const std::uint32_t* members, std::size_t count,
-                  FillScratch& fs);
+  // Partitions the members of every to-be-filled component into (route,
+  // weight, cap) equivalence classes and builds each component's deduped
+  // link list. Serial; output is read-only during the (possibly parallel)
+  // fills. See allocate() Phase B2.
+  void partition_classes();
+  // Progressive filling of fill component `rank` (index into fill_comps_)
+  // at class granularity: the working units are the component's classes and
+  // converged rates land in cls_rate_. Touches only the component's own
+  // links_/class state plus `fs` -- safe to run concurrently for distinct
+  // components with distinct scratch.
+  void fill_component_class(std::size_t rank, FillScratch& fs);
+  // The same canonical fill with every class member as its own unit
+  // (reference granularity); converged rates land in member_rate_. Executes
+  // bit-identical arithmetic to fill_component_class -- see DESIGN.md §11
+  // for the grouping-invariance argument.
+  void fill_component_perflow(std::size_t rank, FillScratch& fs);
   // Exact cache validation; on hit restores the cached rates and returns
   // true. Collision-proof: compares member ids positionally plus the
   // recorded weight/cap values bit-for-bit.
@@ -216,6 +268,7 @@ class RateAllocator {
 
   const topology::Topology* topo_;
   AllocMode mode_;
+  FillMode fill_ = FillMode::kClass;
   Stats stats_;
   std::uint64_t pass_ = 0;
   obs::TraceSink* trace_ = nullptr;  // null => zero-cost emission branch
@@ -239,6 +292,36 @@ class RateAllocator {
   obs::TraceShards comp_shards_;            // parallel kCompFill emission
   std::vector<double> prev_rate_;           // span-parallel rate snapshot
   std::vector<Flow*> rate_changed_;
+
+  // --- equivalence-class partition (Phase B2; DESIGN.md §11) ---
+  // Built once per pass over exactly the members of to-be-filled
+  // components (cache-reused components never touch it), then read-only
+  // during the fills. SoA layout keyed by dense class index.
+  std::vector<std::uint32_t> dirty_slots_;      // fill members, rank-major
+  std::vector<std::uint64_t> route_key_;        // per dirty slot: bucket key
+  std::vector<std::uint32_t> route_start_;      // route-bucket scatter
+  std::vector<std::uint32_t> route_cursor_;
+  std::vector<std::uint32_t> route_order_;
+  std::vector<std::uint32_t> comp_rank_;        // comp id -> fill rank
+  std::vector<std::uint32_t> class_of_slot_;    // af_ slot -> class id
+  std::uint32_t n_classes_ = 0;
+  std::vector<double> cls_weight_;              // clamped effective weight
+  std::vector<double> cls_cap_;                 // valid when cls_has_cap_
+  std::vector<std::uint8_t> cls_has_cap_;
+  std::vector<double> cls_rate_;                // converged class rate
+  std::vector<std::uint32_t> cls_count_;        // members in the class
+  std::vector<std::uint32_t> cls_path_begin_;   // route links in path_flat_
+  std::vector<std::uint32_t> cls_path_end_;
+  std::vector<std::uint32_t> cls_rank_;         // owning fill rank
+  std::vector<std::uint32_t> rank_class_start_; // ranks+1: classes per rank
+  std::vector<std::uint32_t> rank_class_cursor_;
+  std::vector<std::uint32_t> rank_classes_;     // class ids bucketed by rank
+  std::vector<std::uint32_t> class_member_start_;  // classes+1
+  std::vector<std::uint32_t> class_member_cursor_;
+  std::vector<std::uint32_t> class_members_;    // slots bucketed by class
+  std::vector<std::uint32_t> comp_links_;       // deduped links, rank-major
+  std::vector<std::uint32_t> rank_link_start_;  // ranks+1 offsets into ^
+  std::vector<double> member_rate_;             // per-slot rates (kPerFlow)
 
   // --- component record cache (kIncremental) ---
   std::vector<CompRecord> records_;

@@ -28,6 +28,14 @@ struct FlowSpec {
   // the workflow => same signature). Lets the coordinator reuse scheduling
   // decisions over a job's lifetime (paper §5). 0 = no signature.
   std::uint64_t signature = 0;
+
+  // ECMP seed hint for route interning (DESIGN.md §11). When nonzero, the
+  // Simulator routes this flow with `route_hint` as the ECMP seed instead of
+  // the flow id, so structurally identical flows across training iterations
+  // (same signature => same hint) land on the *same* interned route and
+  // collapse into one allocator equivalence class. 0 = no hint (per-flow-id
+  // seed, the historical behavior).
+  std::uint64_t route_hint = 0;
 };
 
 // kParked: the flow is known to the simulator but not in the network -- its
@@ -45,6 +53,13 @@ struct Flow {
   FlowId id;
   FlowSpec spec;
   topology::Path path;          // directed links traversed
+  // Interned identity of `path` in the Simulator's RouteTable: flows with
+  // equal `route` have bitwise-equal paths, which is what the allocator's
+  // equivalence-class fill groups on. Kept in sync with `path` by the
+  // Simulator (submission, resume, reroute); invalid for flows whose path
+  // was written directly (standalone benchmarks/tests), which the allocator
+  // then treats as singleton classes.
+  RouteId route;
 
   // Simulator bookkeeping: this flow's slot in Simulator::active_flows_,
   // enabling O(1) swap-and-pop retirement (kNotActive while inactive).

@@ -42,9 +42,10 @@ namespace {
 }  // namespace
 
 Simulator::Simulator(const topology::Topology* topo, SimLoopMode mode,
-                     AllocMode alloc_mode)
+                     AllocMode alloc_mode, FillMode fill_mode)
     : topo_(topo),
-      allocator_(topo, alloc_mode),
+      routes_(topo),
+      allocator_(topo, alloc_mode, fill_mode),
       scheduler_(&default_scheduler_),
       mode_(mode) {
   assert(topo != nullptr);
@@ -214,8 +215,14 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
     trace_flow(obs::TraceKind::kFlowSubmit, f, f.spec.size, f.spec.label);
   }
   if (f.spec.src != f.spec.dst) {
-    auto path = topo_->route(f.spec.src, f.spec.dst, id.value());
-    if (!path.has_value()) {
+    // Route through the interned cache: the hint (when set) replaces the
+    // flow id as the ECMP seed so structurally identical flows across
+    // iterations share one canonical route -- and therefore one allocator
+    // equivalence class.
+    const std::uint64_t seed =
+        f.spec.route_hint != 0 ? f.spec.route_hint : id.value();
+    const auto rid = routes_.route(f.spec.src, f.spec.dst, seed);
+    if (!rid.has_value()) {
       if (unroutable_handler_) {
         // Graceful degradation (fault injection): the endpoints are
         // disconnected *right now* -- park the flow at birth and let the
@@ -241,7 +248,8 @@ FlowId Simulator::submit_flow(FlowSpec spec, FlowCallback on_done) {
           std::to_string(f.spec.src.value()) + " to node " +
           std::to_string(f.spec.dst.value()));
     }
-    f.path = std::move(*path);
+    f.route = *rid;
+    f.path = routes_.path(*rid);  // copy of the canonical interned path
   }
   f.entered = true;
   flows_.push_back(std::move(f));
@@ -563,6 +571,11 @@ void Simulator::resume_flow(FlowId id, topology::Path path) {
   Flow& f = flows_.at(id.value());
   assert(f.state == FlowState::kParked && "resume_flow on non-parked flow");
   if (f.state != FlowState::kParked) return;
+  // Re-intern so the flow's route identity matches its new path -- a
+  // recovery path computed by route_flow() lands back on the canonical
+  // RouteId; an externally crafted path gets its own (still-deduplicated)
+  // id. Either way `route` and `path` stay in sync.
+  f.route = routes_.intern(path);
   f.path = std::move(path);
   f.state = FlowState::kActive;
   f.rate = 0.0;
@@ -606,6 +619,7 @@ void Simulator::reroute_flow(FlowId id, topology::Path path) {
   Flow& f = flows_.at(id.value());
   assert(f.state == FlowState::kActive && f.active_index != Flow::kNotActive &&
          "reroute_flow on inactive flow");
+  f.route = routes_.intern(path);  // keep route identity in sync (see resume)
   f.path = std::move(path);
   // See resume_flow: the component cache validates members/weights/caps and
   // the capacity epoch but not paths, so the reroute must announce itself.
@@ -615,6 +629,16 @@ void Simulator::reroute_flow(FlowId id, topology::Path path) {
     // `remaining` is epoch-stamped, not materialized -- observational only.
     trace_flow(obs::TraceKind::kFlowReroute, f, f.remaining);
   }
+}
+
+std::optional<topology::Path> Simulator::route_flow(FlowId id) {
+  const Flow& f = flows_.at(id.value());
+  if (f.spec.src == f.spec.dst) return topology::Path{};  // loopback: no links
+  const std::uint64_t seed =
+      f.spec.route_hint != 0 ? f.spec.route_hint : id.value();
+  const auto rid = routes_.route(f.spec.src, f.spec.dst, seed);
+  if (!rid.has_value()) return std::nullopt;
+  return routes_.path(*rid);
 }
 
 void Simulator::abandon_flow(FlowId id) {

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -50,6 +51,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "topology/graph.hpp"
+#include "topology/route_table.hpp"
 
 namespace echelon::netsim {
 
@@ -69,9 +71,14 @@ class Simulator {
   // cap churn, which is exactly what the component cache exploits.
   // kFullRecompute is retained as the reference mode for the
   // golden-equivalence suite (tests/test_alloc_equivalence.cpp).
+  // `fill_mode` selects the per-component water-fill granularity
+  // (equivalence classes by default; see FillMode) -- the two produce
+  // bit-identical allocations, which the route-class differential suite
+  // pins.
   explicit Simulator(const topology::Topology* topo,
                      SimLoopMode mode = SimLoopMode::kLazy,
-                     AllocMode alloc_mode = AllocMode::kIncremental);
+                     AllocMode alloc_mode = AllocMode::kIncremental,
+                     FillMode fill_mode = FillMode::kClass);
 
   // Non-copyable: owns callbacks holding references to itself.
   Simulator(const Simulator&) = delete;
@@ -88,6 +95,15 @@ class Simulator {
   }
   [[nodiscard]] const topology::Topology& topology() const noexcept {
     return *topo_;
+  }
+  // Route interning table (DESIGN.md §11): every path the simulator puts a
+  // flow on is interned here, giving flows a RouteId identity the allocator
+  // groups equivalence classes on. Read-mostly telemetry access; mutable so
+  // fault-injection helpers can re-intern recovery paths through the same
+  // cache.
+  [[nodiscard]] topology::RouteTable& routes() noexcept { return routes_; }
+  [[nodiscard]] const topology::RouteTable& routes() const noexcept {
+    return routes_;
   }
 
   // --- control plane ---
@@ -204,6 +220,14 @@ class Simulator {
   // (the converged-rate cache does not fingerprint paths) and forces a
   // reallocation.
   void reroute_flow(FlowId id, topology::Path path);
+
+  // Recomputes flow `id`'s route in the *current* topology through the
+  // interned route cache, using the same ECMP seed submit_flow used
+  // (route_hint if set, else the flow id) -- so a recovered flow lands back
+  // on its canonical route and its equivalence class. Returns nullopt when
+  // the endpoints are currently disconnected. Does not mutate the flow;
+  // callers pass the result to resume_flow/reroute_flow.
+  [[nodiscard]] std::optional<topology::Path> route_flow(FlowId id);
 
   // Gives up on a parked flow (retry budget exhausted): the flow completes
   // *unsuccessfully* at the current instant -- finish_time is set and the
@@ -329,6 +353,7 @@ class Simulator {
   [[nodiscard]] SimTime earliest_completion_heap();
 
   const topology::Topology* topo_;
+  topology::RouteTable routes_;
   RateAllocator allocator_;
   FairSharingScheduler default_scheduler_;
   NetworkScheduler* scheduler_;

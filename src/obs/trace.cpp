@@ -22,6 +22,7 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kHeuristicRun: return "heuristic_run";
     case TraceKind::kReuseHit: return "reuse_hit";
     case TraceKind::kCompFill: return "comp_fill";
+    case TraceKind::kClassFill: return "class_fill";
   }
   return "?";
 }

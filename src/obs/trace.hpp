@@ -51,10 +51,11 @@ enum class TraceKind : std::uint8_t {
   kHeuristicRun,  // Coordinator re-ran the scheduling heuristic
   kReuseHit,      // Coordinator granted a cached (signature-keyed) decision
   kCompFill,      // RateAllocator water-filled one component (detail >= kFlow)
+  kClassFill,     // equivalence-class count of that fill     (detail >= kFlow)
 };
 
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kCompFill) + 1;
+    static_cast<std::size_t>(TraceKind::kClassFill) + 1;
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;
 
@@ -90,6 +91,7 @@ enum class TraceDetail : std::uint8_t { kOff = 0, kCoarse = 1, kFlow = 2 };
 //   kHeuristicRun run index     --         active flows     --
 //   kReuseHit     flow id       job id     signature        granted rate B/s
 //   kCompFill     pass index    --         component id     member count
+//   kClassFill    pass index    --         component id     class count
 //
 // `job` and `ctx` use kNone when not applicable.
 struct TraceEvent {

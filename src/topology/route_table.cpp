@@ -1,0 +1,74 @@
+#include "topology/route_table.hpp"
+
+namespace echelon::topology {
+
+namespace {
+
+// SplitMix64 finalizer (same mix as common/scratch.hpp's KeySlotMap): full
+// avalanche so sequential link ids spread across the hash space.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::size_t RouteTable::CacheKeyHash::operator()(
+    const CacheKey& k) const noexcept {
+  std::uint64_t h = mix(k.src);
+  h = mix(h ^ k.dst);
+  h = mix(h ^ k.seed);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t RouteTable::hash_path(const Path& path) noexcept {
+  // Order-sensitive chained mix; the empty path (src == dst) hashes to a
+  // fixed non-zero constant and interns like any other path.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const LinkId lid : path) h = mix(h ^ lid.value());
+  return h;
+}
+
+RouteId RouteTable::intern(const Path& path) {
+  const std::uint64_t h = hash_path(path);
+  std::vector<std::uint32_t>& chain = by_hash_[h];
+  // Hash collisions are resolved by exact link-sequence comparison -- two
+  // distinct paths never share a RouteId, which the allocator's class
+  // partition relies on (same id => same links => same component).
+  for (const std::uint32_t idx : chain) {
+    if (paths_[idx] == path) return RouteId{idx};
+  }
+  const auto idx = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(path);
+  chain.push_back(idx);
+  return RouteId{idx};
+}
+
+std::optional<RouteId> RouteTable::route(NodeId src, NodeId dst,
+                                         std::uint64_t ecmp_seed) {
+  ++stats_.lookups;
+  const std::uint64_t epoch = topo_->capacity_epoch();
+  const CacheKey key{src.value(), dst.value(), ecmp_seed};
+  auto [it, inserted] = cache_.try_emplace(key);
+  if (!inserted && it->second.epoch == epoch) {
+    ++stats_.hits;
+    if (it->second.route_index == kUnreachableRoute) return std::nullopt;
+    return RouteId{it->second.route_index};
+  }
+  ++stats_.computations;
+  auto path = topo_->route(src, dst, ecmp_seed);
+  if (!path.has_value()) {
+    ++stats_.unreachable;
+    it->second = CacheEntry{epoch, kUnreachableRoute};
+    return std::nullopt;
+  }
+  const RouteId id = intern(*path);
+  it->second = CacheEntry{epoch, static_cast<std::uint32_t>(id.value())};
+  return id;
+}
+
+}  // namespace echelon::topology

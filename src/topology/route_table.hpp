@@ -1,0 +1,103 @@
+// Route interning: canonical Path -> RouteId table with an epoch-gated
+// (src, dst, ecmp_seed) route cache (DESIGN.md §11).
+//
+// Collectives emit thousands of concurrent flows over a handful of distinct
+// routed paths, and Topology::route() -- a BFS plus a forward walk -- used
+// to run from scratch on every flow submission and every fault-driven
+// reroute. The table splits that cost in two:
+//
+//   * An *append-only* intern table of distinct paths. intern() returns the
+//     existing RouteId when the exact link sequence was seen before, so two
+//     flows routed the same way share one id -- the key the RateAllocator's
+//     equivalence-class fill groups on. A RouteId, once issued, resolves to
+//     the same path forever (path() is epoch-independent); ids are dense
+//     indices suitable for counting-sort buckets.
+//   * A (src, dst, ecmp_seed) -> RouteId cache in front of the BFS,
+//     validated against Topology::capacity_epoch(). Every runtime
+//     link-capacity or up/down change bumps the epoch (that is the existing
+//     invalidation contract of the incremental allocator), so a cached
+//     route is served only while the topology that produced it is
+//     unchanged -- fault-driven reroutes recompute exactly when they must.
+//     Unreachable verdicts are cached too: a flap-heavy retry loop probing
+//     a severed pair costs one BFS per epoch, not one per retry.
+//
+// Route computation happens at submission / fault time, outside the
+// simulator's zero-allocation steady-state region, so the cache may use
+// ordinary node-based containers.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "topology/graph.hpp"
+
+namespace echelon::topology {
+
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology* topo) : topo_(topo) {}
+
+  // Cached Topology::route(): returns the interned id of the (deterministic)
+  // path from src to dst under `ecmp_seed`, or nullopt when dst is
+  // unreachable right now. Serves from the cache while the capacity epoch
+  // is unchanged; recomputes (and re-interns) after any topology mutation.
+  [[nodiscard]] std::optional<RouteId> route(NodeId src, NodeId dst,
+                                             std::uint64_t ecmp_seed);
+
+  // Interns an explicit path (e.g. a caller-chosen reroute), returning the
+  // existing id when the exact link sequence is already in the table.
+  [[nodiscard]] RouteId intern(const Path& path);
+
+  // The canonical link sequence of an interned route. Valid forever --
+  // interning is append-only and ids are never recycled.
+  [[nodiscard]] const Path& path(RouteId id) const {
+    return paths_.at(id.value());
+  }
+
+  // Distinct paths interned so far (== the smallest unissued RouteId).
+  [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
+
+  // Telemetry pinned by the route-computation regression test: `hits`
+  // counts route() calls served from the epoch-valid cache, `computations`
+  // counts actual Topology::route() BFS runs (hits + computations ==
+  // lookups), `unreachable` the subset of computations with no path.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t computations = 0;
+    std::uint64_t unreachable = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct CacheKey {
+    std::uint64_t src;
+    std::uint64_t dst;
+    std::uint64_t seed;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept;
+  };
+  // kUnreachableRoute in `route_index` caches a negative verdict.
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    std::uint32_t route_index = 0;
+  };
+  static constexpr std::uint32_t kUnreachableRoute = 0xffffffffu;
+
+  [[nodiscard]] static std::uint64_t hash_path(const Path& path) noexcept;
+
+  const Topology* topo_;
+  Stats stats_;
+  std::vector<Path> paths_;  // append-only; indexed by RouteId
+  // Exact-match intern index: path hash -> ids of all paths with that hash.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+};
+
+}  // namespace echelon::topology

@@ -123,12 +123,20 @@ struct RunSpec {
   cluster::FabricKind fabric = cluster::FabricKind::kBigSwitch;
   netsim::SimLoopMode loop = netsim::SimLoopMode::kLazy;
   netsim::AllocMode alloc = netsim::AllocMode::kIncremental;
+  // Water-fill granularity -- the axis the route-class differential suite
+  // (tests/test_route_class_equivalence.cpp) sweeps: kClass and kPerFlow
+  // must produce bit-identical results and trace streams.
+  netsim::FillMode fill = netsim::FillMode::kClass;
   const faultsim::FaultPlan* plan = nullptr;  // nullptr = fault-free
   // Intra-run parallelism width (ExperimentConfig::threads): 1 = serial,
   // 0 = every shared-pool participant, N = at most N. Results must be
   // bit-identical at every setting -- that IS the axis
   // tests/test_parallel_equivalence.cpp sweeps.
   unsigned threads = 1;
+  // Optional structured-event capture (differential suites compare whole
+  // streams, not just end-of-run aggregates).
+  obs::TraceSink* trace_sink = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::kFlow;
 };
 
 inline cluster::ExperimentResult run_cluster(
@@ -142,9 +150,40 @@ inline cluster::ExperimentResult run_cluster(
       spec.fabric == cluster::FabricKind::kLeafSpine ? 2.0 : 1.0;
   cfg.loop_mode = spec.loop;
   cfg.alloc_mode = spec.alloc;
+  cfg.fill_mode = spec.fill;
   cfg.fault_plan = spec.plan;
   cfg.threads = spec.threads;
+  if (spec.trace_sink != nullptr) {
+    cfg.trace_sink = spec.trace_sink;
+    cfg.trace_detail = spec.trace_detail;
+  }
   return cluster::run_experiment(jobs, cfg);
+}
+
+// Bitwise trace-stream comparator for differential suites: both recorders
+// must have seen the same events in the same order, field for field
+// (timestamps and values compared as exact doubles), plus identical
+// cumulative per-kind counts (which include ring-dropped events). Size the
+// recorders so nothing drops, or the retained-window comparison weakens.
+inline void expect_same_trace(const obs::TraceRecorder& a,
+                              const obs::TraceRecorder& b) {
+  EXPECT_EQ(a.recorded(), b.recorded());
+  for (std::size_t k = 0; k < obs::kTraceKindCount; ++k) {
+    EXPECT_EQ(a.count(static_cast<obs::TraceKind>(k)),
+              b.count(static_cast<obs::TraceKind>(k)))
+        << "kind " << obs::to_string(static_cast<obs::TraceKind>(k));
+  }
+  const std::vector<obs::TraceEvent> ea = a.events();
+  const std::vector<obs::TraceEvent> eb = b.events();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+    EXPECT_BITEQ(ea[i].t, eb[i].t) << "event " << i;
+    EXPECT_EQ(ea[i].id, eb[i].id) << "event " << i;
+    EXPECT_EQ(ea[i].job, eb[i].job) << "event " << i;
+    EXPECT_EQ(ea[i].ctx, eb[i].ctx) << "event " << i;
+    EXPECT_BITEQ(ea[i].value, eb[i].value) << "event " << i;
+  }
 }
 
 // The fabric run_cluster builds for chaos-profile target selection (must

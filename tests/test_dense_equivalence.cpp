@@ -65,8 +65,14 @@ namespace ref {
 // *per-component* progressive filling: contended flows are partitioned into
 // link-contention components and each component is water-filled
 // independently (max-min fairness is separable across link-disjoint flow
-// sets). This reference implements exactly that with hash maps and a plain
-// DSU; the production allocator uses epoch-stamped dense scratch, a
+// sets). Since the equivalence-class fill change the per-round link update
+// is the *grouping-invariant* form (DESIGN.md §11): every component link's
+// remaining capacity decreases once per round by delta * unfrozen_weight,
+// instead of once per member by member_weight * delta -- the form whose
+// floating-point trajectory is independent of how flows are grouped into
+// fill units, which is what lets the class fill be bit-identical to the
+// per-flow fill. This reference implements exactly that with hash maps and
+// a plain DSU; the production allocator uses epoch-stamped dense scratch, a
 // union-find threaded through the per-link state, and (in kIncremental
 // mode) a converged-rate cache -- see netsim/allocator.cpp and
 // tests/test_alloc_equivalence.cpp for the incremental-vs-full suite.
@@ -133,6 +139,19 @@ void allocate(const topology::Topology& topo, std::span<Flow*> flows) {
   }
 
   for (const std::vector<std::size_t>& members : comps) {
+    // Deduped component link list (first-use member order): the canonical
+    // per-round update touches every component link exactly once.
+    std::vector<std::uint64_t> comp_links;
+    {
+      std::unordered_map<std::uint64_t, bool> listed;
+      for (const std::size_t s : members) {
+        for (LinkId lid : contended[s]->path) {
+          if (listed.try_emplace(lid.value(), true).second) {
+            comp_links.push_back(lid.value());
+          }
+        }
+      }
+    }
     std::vector<std::size_t> unfrozen = members;
     while (!unfrozen.empty()) {
       double delta = kInf;
@@ -152,12 +171,14 @@ void allocate(const topology::Topology& topo, std::span<Flow*> flows) {
       std::vector<std::size_t> next;
       next.reserve(unfrozen.size());
       for (const std::size_t s : unfrozen) {
-        Flow* f = contended[s];
-        const double inc = weight[s] * delta;
-        f->rate += inc;
-        for (LinkId lid : f->path) {
-          links.at(lid.value()).remaining_capacity -= inc;
-        }
+        contended[s]->rate += weight[s] * delta;
+      }
+      // Grouping-invariant link update: once per link per round, by the
+      // link's aggregate unfrozen weight (a fully-frozen link carries
+      // unfrozen_weight == +-0.0, making the subtraction an exact no-op).
+      for (const std::uint64_t l : comp_links) {
+        LinkLoad& ll = links.at(l);
+        ll.remaining_capacity -= delta * ll.unfrozen_weight;
       }
       constexpr double kEps = 1e-12;
       for (const std::size_t s : unfrozen) {

@@ -1,0 +1,513 @@
+// Route interning + equivalence-class water-fill: the differential suite.
+//
+// The route-interning layer (topology::RouteTable, DESIGN.md §11) and the
+// class-granularity max-min fill (netsim::FillMode::kClass) are pure
+// performance restructurings: every observable -- flow rates, completion
+// times, ExperimentResults, full structured-trace streams -- must be
+// *bit-identical* to the per-flow fill they replace, and route computations
+// must scale with distinct (src, dst, seed) keys per capacity epoch, not
+// with flow count. This binary pins all of that:
+//
+//   1. RouteTable unit semantics: intern dedupe, path round-trip, the
+//      epoch-gated cache, cached unreachable verdicts (exact Stats).
+//   2. Route-computation regression under a flap-heavy fault plan: N flows
+//      sharing an ECMP key cost one BFS per epoch, not one per reroute.
+//   3. Dense-level differential fuzz: kClass vs kPerFlow bitwise rate
+//      equality on randomized flow sets with heavy route/weight/cap sharing
+//      (multi-member classes) plus uninterned direct-path flows (sentinel
+//      singleton classes).
+//   4. Cluster-level differential: 5 schedulers x 2 fabrics x
+//      {incremental, full} x threads {1, 2, 8}, comparing bit-identical
+//      ExperimentResults *and* whole trace streams (including the new
+//      kClassFill events, which both granularities must emit identically).
+//   5. Chaos differential: >= 100 distinct flap-heavy fault plans (seed x
+//      scheduler grid), per-flow vs class under fire.
+//   6. Zero-allocation steady state: the class fill's arenas reach their
+//      high-water mark and stop allocating, and the class partition is
+//      exact (counted classes match the constructed sharing structure).
+//   7. Experiment-level telemetry: routes.* / alloc.classes counters export
+//      through the metrics registry with their documented identities.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "equivalence_harness.hpp"
+#include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topology/route_table.hpp"
+
+namespace echelon {
+namespace {
+
+using cluster::FabricKind;
+using cluster::SchedulerKind;
+using faultsim::ChaosProfile;
+using faultsim::FaultInjector;
+using faultsim::FaultKind;
+using faultsim::FaultPlan;
+using netsim::AllocMode;
+using netsim::FillMode;
+using netsim::Flow;
+using netsim::FlowSpec;
+using netsim::SimLoopMode;
+using netsim::Simulator;
+using eqh::expect_same_result;
+using eqh::expect_same_trace;
+using eqh::run_cluster;
+using eqh::RunSpec;
+using eqh::small_trace;
+
+// ============================================================================
+// 1. RouteTable unit semantics
+// ============================================================================
+
+TEST(RouteTable, InternDeduplicatesAndRoundTrips) {
+  const auto fabric = topology::make_big_switch(8, gbps(10));
+  topology::RouteTable table(&fabric.topo);
+  const topology::Path p01 =
+      *fabric.topo.route(fabric.hosts[0], fabric.hosts[1], 0);
+  const topology::Path p02 =
+      *fabric.topo.route(fabric.hosts[0], fabric.hosts[2], 0);
+
+  const RouteId a = table.intern(p01);
+  const RouteId b = table.intern(p02);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a, b);
+  // Interning the same link sequence again returns the existing id.
+  EXPECT_EQ(table.intern(p01), a);
+  EXPECT_EQ(table.intern(p02), b);
+  EXPECT_EQ(table.size(), 2u);
+  // path() is the exact canonical sequence, forever.
+  EXPECT_EQ(table.path(a), p01);
+  EXPECT_EQ(table.path(b), p02);
+  // Interning does not touch the route() lookup telemetry.
+  EXPECT_EQ(table.stats().lookups, 0u);
+}
+
+TEST(RouteTable, CacheServesByEpochAndRecomputesToTheSameId) {
+  auto fabric = topology::make_big_switch(8, gbps(10));
+  topology::RouteTable table(&fabric.topo);
+  const NodeId src = fabric.hosts[0];
+  const NodeId dst = fabric.hosts[1];
+
+  const auto first = table.route(src, dst, 7);
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 99; ++i) {
+    EXPECT_EQ(table.route(src, dst, 7), first);
+  }
+  EXPECT_EQ(table.stats().lookups, 100u);
+  EXPECT_EQ(table.stats().computations, 1u);
+  EXPECT_EQ(table.stats().hits, 99u);
+
+  // A different seed is a different cache key (one more BFS) even though a
+  // single-path fabric routes it identically -- the intern table collapses
+  // the result to the same RouteId.
+  EXPECT_EQ(table.route(src, dst, 8), first);
+  EXPECT_EQ(table.stats().computations, 2u);
+  EXPECT_EQ(table.size(), 1u);
+
+  // Any topology mutation bumps the capacity epoch and invalidates the
+  // cache; the recomputed (identical) path dedupes back to the same id.
+  const LinkId flapped = table.path(*first)[0];
+  fabric.topo.set_link_up(flapped, false);
+  fabric.topo.set_link_up(flapped, true);
+  EXPECT_EQ(table.route(src, dst, 7), first);
+  EXPECT_EQ(table.stats().computations, 3u);
+  fabric.topo.set_link_capacity(flapped, gbps(10) / 2);
+  EXPECT_EQ(table.route(src, dst, 7), first);
+  EXPECT_EQ(table.stats().computations, 4u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RouteTable, UnreachableVerdictsAreCachedPerEpoch) {
+  auto fabric = topology::make_big_switch(8, gbps(10));
+  topology::RouteTable table(&fabric.topo);
+  const NodeId src = fabric.hosts[0];
+  const NodeId dst = fabric.hosts[1];
+
+  const auto route = table.route(src, dst, 3);
+  ASSERT_TRUE(route.has_value());
+  // Sever the source host's only uplink: dst becomes unreachable.
+  const LinkId uplink = table.path(*route)[0];
+  fabric.topo.set_link_up(uplink, false);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(table.route(src, dst, 3).has_value());
+  }
+  // One BFS discovered the severed pair; nine retries hit the cached
+  // negative verdict -- the flap-retry economics the table exists for.
+  EXPECT_EQ(table.stats().computations, 2u);
+  EXPECT_EQ(table.stats().unreachable, 1u);
+  EXPECT_EQ(table.stats().hits, 9u);
+
+  fabric.topo.set_link_up(uplink, true);
+  EXPECT_EQ(table.route(src, dst, 3), route);
+  EXPECT_EQ(table.stats().computations, 3u);
+  EXPECT_EQ(table.stats().unreachable, 1u);
+}
+
+// ============================================================================
+// 2. Route-computation regression under a flap-heavy plan
+// ============================================================================
+
+// Eight long flows share one (src, dst, ecmp_seed) key across a 2-spine
+// leaf-spine fabric while a plan flaps the uplink they currently cross five
+// times. Every flap forces a fleet-wide reroute, but the interned cache must
+// pay exactly one BFS per flap -- computations scale with epochs, not flows.
+TEST(RouteCacheRegression, FlapHeavyPlanComputesOncePerEpochNotPerFlow) {
+  auto fabric = topology::make_leaf_spine({.leaves = 2,
+                                           .spines = 2,
+                                           .hosts_per_leaf = 2,
+                                           .host_link = gbps(10),
+                                           .uplink = gbps(10)});
+  Simulator sim(&fabric.topo);
+  constexpr int kFlows = 8;
+  std::vector<FlowId> flows;
+  for (int i = 0; i < kFlows; ++i) {
+    FlowSpec spec;
+    spec.src = fabric.hosts[0];
+    spec.dst = fabric.hosts[2];  // cross-leaf: host->leaf->spine->leaf->host
+    spec.size = 1e9;
+    spec.route_hint = 42;  // one shared ECMP key for the whole fleet
+    spec.label = "bulk" + std::to_string(i);
+    flows.push_back(sim.submit_flow(std::move(spec)));
+  }
+  // One BFS routed the whole fleet.
+  EXPECT_EQ(sim.routes().stats().lookups, 8u);
+  EXPECT_EQ(sim.routes().stats().computations, 1u);
+  EXPECT_EQ(sim.routes().stats().hits, 7u);
+
+  // The uplink the fleet sits on now, and the alternate spine's uplink.
+  const LinkId on = sim.flow(flows[0]).path[1];
+  const LinkId other = on.value() == 0 ? LinkId{2} : LinkId{0};
+
+  // Alternate flapping the occupied uplink: each down lands on the link the
+  // fleet currently crosses (it migrated to the other spine at the previous
+  // down and stays there through the up).
+  FaultPlan plan;
+  for (int k = 0; k < 5; ++k) {
+    const std::uint64_t target = (k % 2 == 0 ? on : other).value();
+    plan.events.push_back(
+        {0.1 + 0.2 * k, FaultKind::kLinkDown, target, 1.0});
+    plan.events.push_back({0.2 + 0.2 * k, FaultKind::kLinkUp, target, 1.0});
+  }
+  FaultInjector inj(&sim, &fabric.topo, &plan);
+  inj.arm();
+  sim.run();
+
+  EXPECT_EQ(inj.summary().events_fired, 10u);
+  EXPECT_EQ(inj.summary().reroutes, 5u * kFlows);
+  const topology::RouteTable::Stats& st = sim.routes().stats();
+  // 8 submits + 5 reroute sweeps x 8 flows = 48 lookups, but only 6 BFS
+  // runs ever happened: one at submit, one per flap epoch.
+  EXPECT_EQ(st.lookups, 48u);
+  EXPECT_EQ(st.computations, 6u);
+  EXPECT_EQ(st.hits, 42u);
+  EXPECT_EQ(st.unreachable, 0u);
+  for (const FlowId id : flows) {
+    EXPECT_TRUE(sim.flow(id).finished());
+    EXPECT_LE(sim.flow(id).remaining, 0.0);
+  }
+}
+
+// ============================================================================
+// 3. Dense-level differential fuzz: kClass vs kPerFlow bitwise
+// ============================================================================
+
+// Randomized flow sets engineered for heavy class sharing: a handful of
+// (src, dst) pairs routed through one intern table (identical Path objects
+// and RouteIds), weights and caps drawn mostly from small discrete sets so
+// (route, weight, cap) classes have many members -- plus a sprinkle of
+// flows with a direct path write and no interned RouteId, which must fall
+// back to sentinel singleton classes. The class fill must reproduce the
+// per-flow fill's rates to the bit.
+TEST(RouteClassDense, ClassVsPerFlowBitIdenticalOnSharedRoutes) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto fabric = topology::make_big_switch(16, 10e9);
+    topology::RouteTable table(&fabric.topo);
+    Rng rng(seed * 7919 + 17);
+    const std::size_t hosts = fabric.hosts.size();
+
+    // Six endpoint pairs, each with a stable interned route.
+    struct Pair {
+      NodeId src, dst;
+      RouteId route;
+    };
+    std::vector<Pair> pairs;
+    while (pairs.size() < 6) {
+      const auto src = fabric.hosts[rng.uniform_int(hosts)];
+      const auto dst = fabric.hosts[rng.uniform_int(hosts)];
+      if (src == dst) continue;
+      const auto rid = table.route(src, dst, pairs.size());
+      ASSERT_TRUE(rid.has_value());
+      pairs.push_back({src, dst, *rid});
+    }
+
+    const int n = 64 + static_cast<int>(rng.uniform_int(128));
+    std::vector<Flow> a;
+    for (int i = 0; i < n; ++i) {
+      Flow f;
+      f.id = FlowId{static_cast<std::uint64_t>(i)};
+      const Pair& p = pairs[rng.uniform_int(pairs.size())];
+      f.spec.src = p.src;
+      f.spec.dst = p.dst;
+      f.spec.size = rng.uniform(1e3, 100e6);
+      f.remaining = f.spec.size;
+      f.path = table.path(p.route);
+      if (rng.uniform() < 0.9) {
+        f.route = p.route;  // interned: eligible for multi-member classes
+      }                     // else: direct path write, sentinel singleton
+      // Mostly discrete weights/caps (class collisions), some continuous.
+      const double u = rng.uniform();
+      f.weight = u < 0.4 ? 1.0 : u < 0.7 ? 2.0 : rng.uniform(0.25, 4.0);
+      const double c = rng.uniform();
+      if (c < 0.2) {
+        f.rate_cap = 4e8;
+      } else if (c < 0.35) {
+        f.rate_cap = rng.uniform(0.0, 2e9);
+      }
+      a.push_back(std::move(f));
+    }
+    std::vector<Flow> b = a;
+    std::vector<Flow*> pa, pb;
+    for (Flow& f : a) pa.push_back(&f);
+    for (Flow& f : b) pb.push_back(&f);
+
+    netsim::RateAllocator per_flow(&fabric.topo, AllocMode::kFullRecompute,
+                                   FillMode::kPerFlow);
+    netsim::RateAllocator by_class(&fabric.topo, AllocMode::kFullRecompute,
+                                   FillMode::kClass);
+    per_flow.allocate(pa);
+    by_class.allocate(pb);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_BITEQ(a[static_cast<std::size_t>(i)].rate,
+                   b[static_cast<std::size_t>(i)].rate)
+          << "flow " << i;
+    }
+    // The sharing structure actually compressed: fewer classes than flows.
+    EXPECT_GT(by_class.stats().class_members, by_class.stats().classes);
+    EXPECT_EQ(by_class.stats().class_members, per_flow.stats().class_members);
+  }
+}
+
+// ============================================================================
+// 4. Cluster-level differential: the full mode matrix, results + traces
+// ============================================================================
+
+using RouteClassEquivalence = eqh::SchedFabricTest;
+
+TEST_P(RouteClassEquivalence, ClassFillBitIdenticalAcrossAllocAndThreads) {
+  const auto [sched, fabric] = GetParam();
+  const auto jobs = small_trace(11);
+  for (const AllocMode alloc :
+       {AllocMode::kIncremental, AllocMode::kFullRecompute}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::string(alloc == AllocMode::kIncremental
+                                   ? "incremental"
+                                   : "full-recompute") +
+                   " threads=" + std::to_string(threads));
+      obs::TraceRecorder per_flow_trace(1u << 20);
+      obs::TraceRecorder class_trace(1u << 20);
+      RunSpec per_flow{.scheduler = sched,
+                       .fabric = fabric,
+                       .alloc = alloc,
+                       .fill = FillMode::kPerFlow,
+                       .threads = threads,
+                       .trace_sink = &per_flow_trace};
+      RunSpec by_class = per_flow;
+      by_class.fill = FillMode::kClass;
+      by_class.trace_sink = &class_trace;
+
+      const auto ra = run_cluster(jobs, per_flow);
+      const auto rb = run_cluster(jobs, by_class);
+      expect_same_result(ra, rb);
+      expect_same_trace(per_flow_trace, class_trace);
+      // Both granularities emit the class-census event, one per component
+      // fill -- the per-flow fill computes the partition too, precisely so
+      // the streams stay comparable.
+      EXPECT_GT(class_trace.count(obs::TraceKind::kClassFill), 0u);
+      EXPECT_EQ(class_trace.count(obs::TraceKind::kClassFill),
+                class_trace.count(obs::TraceKind::kCompFill));
+    }
+  }
+}
+
+ECHELON_INSTANTIATE_SCHED_FABRIC(RouteClassEquivalence);
+
+// ============================================================================
+// 5. Chaos differential: >= 100 flap-heavy plans under fire
+// ============================================================================
+
+int chaos_seed_budget() {
+  if (const char* env = std::getenv("ECHELON_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+#if ECHELON_ALLOC_HOOK
+  return 20;  // 20 seeds x 5 schedulers = 100 distinct plans
+#else
+  return 4;  // sanitizer legs: keep wall clock in check
+#endif
+}
+
+TEST(RouteClassChaosDifferential, HundredFlapHeavyPlansBitIdentical) {
+  const int seeds = chaos_seed_budget();
+  const auto fabric = eqh::run_cluster_fabric(FabricKind::kLeafSpine);
+  const SchedulerKind kinds[] = {
+      SchedulerKind::kFairSharing, SchedulerKind::kSrpt,
+      SchedulerKind::kCoflowMadd, SchedulerKind::kEchelonMadd,
+      SchedulerKind::kCoordinator};
+  const unsigned thread_cycle[] = {1u, 2u, 8u};
+
+  std::uint64_t events_total = 0;
+  std::uint64_t interactions_total = 0;
+  obs::TraceRecorder per_flow_trace(1u << 20);
+  obs::TraceRecorder class_trace(1u << 20);
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s);
+    const auto jobs = small_trace(seed);
+    std::size_t workers = 0;
+    for (const auto& j : jobs) workers += static_cast<std::size_t>(j.ranks);
+
+    int ki = 0;
+    for (const SchedulerKind kind : kinds) {
+      // One distinct plan per (seed, scheduler) grid point, link-flap
+      // heavy: reroute storms are where route interning and class
+      // repartitioning earn their keep.
+      ChaosProfile p;
+      p.seed = 3000 + static_cast<std::uint64_t>(s) * 16 +
+               static_cast<std::uint64_t>(ki);
+      p.horizon = 1.5;
+      p.link_faults = 2 + (s + ki) % 3;
+      p.brownouts = s % 2;
+      p.stragglers = ki % 2;
+      p.node_faults = ((s + ki) % 4 == 0) ? 1 : 0;
+      p.job_aborts = ((s + ki) % 5 == 0) ? 1 : 0;
+      const FaultPlan plan =
+          faultsim::from_chaos(p, fabric.topo, workers, jobs.size());
+      ASSERT_FALSE(plan.empty());
+
+      const unsigned threads = thread_cycle[(s + ki) % 3];
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " +
+                   std::string(cluster::to_string(kind)) +
+                   " threads=" + std::to_string(threads));
+      per_flow_trace.clear();
+      class_trace.clear();
+      RunSpec per_flow{.scheduler = kind,
+                       .fabric = FabricKind::kLeafSpine,
+                       .fill = FillMode::kPerFlow,
+                       .plan = &plan,
+                       .threads = threads,
+                       .trace_sink = &per_flow_trace};
+      RunSpec by_class = per_flow;
+      by_class.fill = FillMode::kClass;
+      by_class.trace_sink = &class_trace;
+
+      const auto r0 = run_cluster(jobs, per_flow);
+      events_total += r0.fault_events;
+      interactions_total +=
+          r0.flow_reroutes + r0.flow_parks + r0.flows_abandoned;
+      expect_same_result(r0, run_cluster(jobs, by_class));
+      expect_same_trace(per_flow_trace, class_trace);
+      ++ki;
+    }
+  }
+  // Non-vacuous: the plans actually fired and actually disturbed flows.
+  EXPECT_GT(events_total, 0u);
+  EXPECT_GT(interactions_total, 0u);
+}
+
+// ============================================================================
+// 6. Zero-allocation steady state + exact class census
+// ============================================================================
+
+// 256 flows over 8 disjoint routes with a deliberate (weight, cap) sharing
+// structure: per route, three distinct (weight, cap) combinations => exactly
+// 24 classes per pass over 256 member flows. After warm-up the class fill's
+// arenas are at their high-water mark and repeated passes allocate nothing.
+TEST(RouteClassSteadyState, ClassFillIsAllocationFreeAndCensusIsExact) {
+  const auto fabric = topology::make_big_switch(16, 10e9);
+  topology::RouteTable table(&fabric.topo);
+  constexpr int kPairs = 8;
+  constexpr int kFlows = 256;
+
+  std::vector<Flow> flows;
+  for (int i = 0; i < kFlows; ++i) {
+    Flow f;
+    f.id = FlowId{static_cast<std::uint64_t>(i)};
+    const int pair = i % kPairs;
+    f.spec.src = fabric.hosts[static_cast<std::size_t>(pair)];
+    f.spec.dst = fabric.hosts[static_cast<std::size_t>(pair + kPairs)];
+    f.spec.size = 1e9;
+    f.remaining = f.spec.size;
+    const auto rid = table.route(f.spec.src, f.spec.dst, pair);
+    ASSERT_TRUE(rid.has_value());
+    f.route = *rid;
+    f.path = table.path(*rid);
+    // Stripe weights/caps by i/8 so every route sees all three classes:
+    // (w=1, capped), (w=1, uncapped), (w=2, uncapped).
+    const int stripe = i / kPairs;
+    f.weight = stripe % 2 == 0 ? 1.0 : 2.0;
+    if (stripe % 4 == 0) f.rate_cap = 5e8;
+    flows.push_back(std::move(f));
+  }
+  std::vector<Flow*> ptrs;
+  for (Flow& f : flows) ptrs.push_back(&f);
+
+  netsim::RateAllocator alloc(&fabric.topo, AllocMode::kFullRecompute,
+                              FillMode::kClass);
+  alloc.allocate(ptrs);  // sizes the arenas
+  alloc.allocate(ptrs);  // confirms the high-water mark
+  const netsim::RateAllocator::Stats warm = alloc.stats();
+  EXPECT_EQ(warm.class_members, warm.passes * kFlows);
+  EXPECT_EQ(warm.classes, warm.passes * 24);
+
+#if ECHELON_ALLOC_HOOK
+  eqh::alloc_count_begin();
+  for (int pass = 0; pass < 10; ++pass) alloc.allocate(ptrs);
+  EXPECT_EQ(eqh::alloc_count_end(), 0u)
+      << "class-granularity steady state must not allocate";
+#else
+  GTEST_SKIP() << "allocation hook disabled under this sanitizer";
+#endif
+}
+
+// ============================================================================
+// 7. Experiment-level telemetry export
+// ============================================================================
+
+TEST(RouteClassTelemetry, ExperimentExportsRouteAndClassCounters) {
+  obs::MetricsRegistry reg;
+  cluster::ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kEchelonMadd;
+  cfg.fabric = FabricKind::kLeafSpine;
+  cfg.hosts = 16;
+  cfg.port_capacity = gbps(25);
+  cfg.oversubscription = 2.0;
+  cfg.metrics = &reg;
+  (void)cluster::run_experiment(small_trace(5), cfg);
+
+  const std::uint64_t lookups = reg.counter("routes.lookups").value();
+  const std::uint64_t hits = reg.counter("routes.cache_hits").value();
+  const std::uint64_t computations = reg.counter("routes.computations").value();
+  EXPECT_GT(lookups, 0u);
+  EXPECT_GT(computations, 0u);
+  // The documented RouteTable identity survives the export.
+  EXPECT_EQ(hits + computations, lookups);
+  const std::uint64_t distinct = reg.counter("routes.distinct").value();
+  EXPECT_GT(distinct, 0u);
+  EXPECT_LE(distinct, computations);
+
+  const std::uint64_t classes = reg.counter("alloc.classes").value();
+  const std::uint64_t members = reg.counter("alloc.class_members").value();
+  EXPECT_GT(classes, 0u);
+  EXPECT_GE(members, classes);
+  EXPECT_GT(reg.gauge("alloc.flows_per_class").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace echelon

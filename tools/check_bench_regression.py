@@ -31,6 +31,19 @@ calibration factor cannot correct for that. Two rules therefore apply:
      context matches the baseline run's; on a shape mismatch they are
      reported but skipped, with a note.
 
+A baseline run may additionally carry a "single_core_host" context marker
+(stamped when the recording machine had 1 CPU): thread-scaling numbers from
+such a run are degenerate -- every width timeshares one core -- so its
+thread-family benchmarks are always reported as SKIPPED, even against a
+fresh 1-CPU run.
+
+Route-structure family (bench_route_class, EXPERIMENTS.md EXT-Q):
+benchmarks whose name carries a "routes:" argument sweep the route-sharing
+*structure* of the flow population. Like the thread family they are
+excluded from the machine-speed calibration median (the class-vs-per-flow
+ratios span nearly two orders of magnitude and would swamp it); unlike the
+thread family they do not depend on machine shape and are gated normally.
+
 Usage:
   bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
   bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
@@ -51,29 +64,47 @@ import sys
 # family (see module docstring).
 THREAD_FAMILY_TAG = "threads:"
 
+# Benchmark names carrying this argument tag belong to the route-structure
+# family: calibration-excluded but gated normally (see module docstring).
+ROUTE_FAMILY_TAG = "routes:"
+
+# Baseline-run context marker: the recording host had a single CPU, so its
+# thread-scaling numbers are degenerate and never gated.
+SINGLE_CORE_MARKER = "single_core_host"
+
 
 def is_thread_family(name):
     return THREAD_FAMILY_TAG in name
 
 
+def is_route_family(name):
+    return ROUTE_FAMILY_TAG in name
+
+
 def load_baseline(path):
-    """(name -> baseline real_time ns, name -> run hardware concurrency)
-    from BENCH_hotpath.json's runs blob."""
+    """(name -> baseline real_time ns, name -> run hardware concurrency,
+    set of names recorded on a single_core_host-marked run) from
+    BENCH_hotpath.json's runs blob."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
     hw = {}
+    single_core = set()
     for run in doc.get("runs", {}).values():
-        run_hw = run.get("context", {}).get("echelon_hardware_concurrency")
+        context = run.get("context", {})
+        run_hw = context.get("echelon_hardware_concurrency")
+        run_single_core = str(context.get(SINGLE_CORE_MARKER, "")) == "true"
         for b in run.get("benchmarks", []):
             if b.get("run_type", "iteration") != "iteration":
                 continue
             times[b["name"]] = float(b["real_time"])
             if run_hw is not None:
                 hw[b["name"]] = str(run_hw)
+            if run_single_core:
+                single_core.add(b["name"])
     if not times:
         raise ValueError(f"{path}: no benchmark baselines found under 'runs'")
-    return times, hw
+    return times, hw, single_core
 
 
 def load_fresh(paths, require_metrics_context):
@@ -123,7 +154,8 @@ def main():
     args = ap.parse_args()
 
     try:
-        baseline, baseline_hw = load_baseline(args.baseline)
+        baseline, baseline_hw, baseline_single_core = load_baseline(
+            args.baseline)
         fresh, fresh_hw = load_fresh(args.fresh, args.require_metrics_context)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
@@ -136,9 +168,10 @@ def main():
         return 2
 
     ratios = {name: fresh[name] / baseline[name] for name in common}
-    # Machine-speed calibration from the shape-insensitive benchmarks only
-    # (falling back to everything if the run is thread-family-only).
-    calib_pool = [r for n, r in ratios.items() if not is_thread_family(n)]
+    # Machine-speed calibration from the shape- and structure-insensitive
+    # benchmarks only (falling back to everything if nothing else ran).
+    calib_pool = [r for n, r in ratios.items()
+                  if not is_thread_family(n) and not is_route_family(n)]
     if not calib_pool:
         calib_pool = list(ratios.values())
     calibration = 1.0 if args.no_normalize else statistics.median(calib_pool)
@@ -146,12 +179,18 @@ def main():
 
     print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
     calib_kind = ("raw" if args.no_normalize
-                  else "median fresh/baseline, thread-family excluded")
+                  else "median fresh/baseline, thread/route families excluded")
     print(f"machine-speed calibration: x{calibration:.3f} ({calib_kind})")
     failures = []
     shape_skipped = []
     for name in common:
         norm = ratios[name] / calibration
+        if is_thread_family(name) and name in baseline_single_core:
+            shape_skipped.append(name)
+            print(f"  {name:<40} base {baseline[name]:>12.0f} ns  "
+                  f"fresh {fresh[name]:>12.0f} ns  norm x{norm:.3f}  "
+                  f"SKIPPED (baseline recorded on a single_core_host)")
+            continue
         if is_thread_family(name) and baseline_hw.get(name) != fresh_hw.get(
             name
         ):
@@ -174,7 +213,8 @@ def main():
               f"(e.g. {missing[0]})")
     if shape_skipped:
         print(f"note: {len(shape_skipped)} thread-scaling benchmark(s) "
-              "skipped: machine shape differs from the baseline recording")
+              "skipped: single-core baseline recording or machine shape "
+              "differs from the baseline's")
 
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
