@@ -215,6 +215,12 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("echelon_build_type",
                               echelon::benchutil::kBuildType);
   if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  // Build provenance: which commit produced these numbers, and whether the
+  // tree was dirty (bench_util.hpp).
+  benchmark::AddCustomContext("echelon_git_commit",
+                              echelon::benchutil::kGitCommit);
+  benchmark::AddCustomContext("echelon_git_dirty",
+                              echelon::benchutil::kGitDirty);
   // Machine shape: thread-scaling numbers are only comparable between
   // identically-shaped hosts (tools/check_bench_regression.py checks this).
   benchmark::AddCustomContext(

@@ -1,0 +1,203 @@
+// EXT-R: streaming-churn control-plane benchmark (DESIGN.md §12).
+//
+// Two families:
+//   1. BM_ChurnControlPass{Incremental,Full}/jobs:J/churn:D -- one scheduler
+//      control() pass over J link-disjoint 8-member EchelonFlows of which D
+//      carry dirty marks. The incremental-vs-full ratio at churn:1 is the
+//      headline number of the incremental control plane: under streaming
+//      churn almost every pass is 1-dirty-of-many, and the dirty-job-scoped
+//      pass touches only the affected component instead of re-ranking and
+//      re-filling the whole population. churn:J (everything dirty) bounds
+//      the scoped pass's bookkeeping overhead from above.
+//   2. BM_ChurnStreaming{Incremental,Full}/churn:S -- the whole streaming
+//      pipeline end to end: run_experiment on the dense-arrival churn trace
+//      (EXPERIMENTS.md EXT-R) under EchelonFlow-MADD, with S as the external
+//      setter-churn seed (0 = membership churn only). Both modes produce
+//      bit-identical results (tests/test_churn_equivalence.cpp); this
+//      measures what the equivalence buys.
+//
+// The `churn:` argument family is excluded from the calibration median of
+// tools/check_bench_regression.py (like `threads:` / `routes:`): a better
+// incremental tier legitimately moves these numbers by integer factors,
+// which must not skew the machine-speed calibration for everything else.
+
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/experiment.hpp"
+#include "cluster/trace.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "topology/builders.hpp"
+
+namespace {
+
+using namespace echelon;
+
+// --- part 1: one control pass under partial dirtiness -----------------------
+
+constexpr int kMembers = 8;
+
+// J link-disjoint pipeline EchelonFlows with one JobId each: J independent
+// scheduling components, so a D-dirty pass has exactly D components to
+// recompute. Flows are foreign (ids outside the simulator's table) and
+// address-stable, driven through the scheduler hooks exactly as the
+// Simulator would.
+struct ChurnPopulation {
+  topology::BuiltFabric fabric;
+  netsim::Simulator sim;
+  ef::Registry reg;
+  std::vector<netsim::Flow> flows;
+  std::vector<netsim::Flow*> active;
+
+  explicit ChurnPopulation(int jobs)
+      : fabric(topology::make_big_switch(jobs * (kMembers + 1), gbps(100))),
+        sim(&fabric.topo) {
+    flows.reserve(static_cast<std::size_t>(jobs) * kMembers);
+    for (int j = 0; j < jobs; ++j) {
+      const EchelonFlowId efid =
+          reg.create(JobId{static_cast<std::uint64_t>(j)},
+                     ef::Arrangement::pipeline(kMembers, 0.01));
+      for (int m = 0; m < kMembers; ++m) {
+        netsim::Flow f;
+        f.id = FlowId{static_cast<std::uint64_t>(flows.size())};
+        f.spec.job = JobId{static_cast<std::uint64_t>(j)};
+        f.spec.group = efid;
+        f.spec.index_in_group = m;
+        f.spec.size = 1e8 + 1e6 * static_cast<double>(j * kMembers + m);
+        f.remaining = f.spec.size;
+        const auto src =
+            fabric.hosts[static_cast<std::size_t>(j * (kMembers + 1) + m)];
+        const auto dst =
+            fabric.hosts[static_cast<std::size_t>(j * (kMembers + 1) + m + 1)];
+        f.path = *fabric.topo.route(src, dst, flows.size());
+        reg.get(efid).note_start(m, f.id, f.spec.size,
+                                 0.001 * static_cast<double>(m));
+        flows.push_back(std::move(f));
+      }
+    }
+    for (netsim::Flow& f : flows) active.push_back(&f);
+  }
+};
+
+void churn_control_pass(benchmark::State& state, netsim::SchedMode mode) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int dirty = static_cast<int>(state.range(1));
+  ChurnPopulation pop(jobs);
+  ef::EchelonMaddScheduler sched(&pop.reg);
+  sched.set_sched_mode(mode);
+  for (netsim::Flow& f : pop.flows) sched.on_flow_arrival(pop.sim, f);
+  sched.mark_all_jobs_dirty();
+  sched.control(pop.sim, pop.active);  // warm-up: enter the steady era
+
+  // Rotating dirty window: each pass marks the next D jobs, so over time
+  // every component gets recomputed (no unrealistically-hot cache slice).
+  int next = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < dirty; ++k) {
+      sched.mark_job_dirty(JobId{static_cast<std::uint64_t>((next + k) % jobs)});
+    }
+    next = (next + dirty) % jobs;
+    sched.control(pop.sim, pop.active);
+    benchmark::DoNotOptimize(pop.active);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pop.flows.size()));
+}
+
+void BM_ChurnControlPassIncremental(benchmark::State& state) {
+  churn_control_pass(state, netsim::SchedMode::kIncremental);
+}
+void BM_ChurnControlPassFull(benchmark::State& state) {
+  churn_control_pass(state, netsim::SchedMode::kFullRecompute);
+}
+BENCHMARK(BM_ChurnControlPassIncremental)
+    ->ArgNames({"jobs", "churn"})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Args({64, 64});
+BENCHMARK(BM_ChurnControlPassFull)
+    ->ArgNames({"jobs", "churn"})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Args({64, 64});
+
+// --- part 2: end-to-end streaming run ----------------------------------------
+
+std::vector<cluster::JobSpec> streaming_trace() {
+  cluster::TraceConfig tcfg;
+  tcfg.num_jobs = 10;
+  tcfg.seed = 42;
+  tcfg.arrival_rate = 8.0;  // dense overlap: several jobs in flight at once
+  tcfg.iterations = 2;
+  tcfg.min_width = 512;
+  tcfg.max_width = 1024;
+  tcfg.rank_choices = {2, 3, 4};
+  return cluster::generate_trace(tcfg);
+}
+
+void churn_streaming(benchmark::State& state, netsim::SchedMode mode) {
+  const auto jobs = streaming_trace();
+  cluster::ExperimentConfig cfg;
+  cfg.scheduler = cluster::SchedulerKind::kEchelonMadd;
+  cfg.sched_mode = mode;
+  cfg.churn_seed = static_cast<std::uint64_t>(state.range(0));
+  std::int64_t control_invocations = 0;
+  for (auto _ : state) {
+    const auto r = cluster::run_experiment(jobs, cfg);
+    benchmark::DoNotOptimize(&r);
+    control_invocations += static_cast<std::int64_t>(r.control_invocations);
+  }
+  state.SetItemsProcessed(control_invocations);
+}
+
+void BM_ChurnStreamingIncremental(benchmark::State& state) {
+  churn_streaming(state, netsim::SchedMode::kIncremental);
+}
+void BM_ChurnStreamingFull(benchmark::State& state) {
+  churn_streaming(state, netsim::SchedMode::kFullRecompute);
+}
+BENCHMARK(BM_ChurnStreamingIncremental)
+    ->ArgNames({"churn"})
+    ->Arg(0)
+    ->Arg(42)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChurnStreamingFull)
+    ->ArgNames({"churn"})
+    ->Arg(0)
+    ->Arg(42)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Non-Release numbers must never be mistaken for baselines: warn on
+  // stderr and tag the (machine-readable) context so BENCH_hotpath.json
+  // regeneration scripts can reject them.
+  const bool not_release = echelon::benchutil::warn_if_not_release();
+  benchmark::AddCustomContext("echelon_build_type",
+                              echelon::benchutil::kBuildType);
+  if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  // Build provenance: which commit produced these numbers, and whether the
+  // tree was dirty (bench_util.hpp).
+  benchmark::AddCustomContext("echelon_git_commit",
+                              echelon::benchutil::kGitCommit);
+  benchmark::AddCustomContext("echelon_git_dirty",
+                              echelon::benchutil::kGitDirty);
+  benchmark::AddCustomContext(
+      "echelon_hardware_concurrency",
+      echelon::benchutil::hardware_concurrency_context());
+  benchmark::AddCustomContext("echelon_pool_participants",
+                              echelon::benchutil::pool_participants_context());
+  benchmark::AddCustomContext("echelon_metrics",
+                              echelon::benchutil::hotpath_metrics_context());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

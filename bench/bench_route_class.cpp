@@ -173,6 +173,12 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("echelon_build_type",
                               echelon::benchutil::kBuildType);
   if (not_release) benchmark::AddCustomContext("echelon_unoptimized", "true");
+  // Build provenance: which commit produced these numbers, and whether the
+  // tree was dirty (bench_util.hpp).
+  benchmark::AddCustomContext("echelon_git_commit",
+                              echelon::benchutil::kGitCommit);
+  benchmark::AddCustomContext("echelon_git_dirty",
+                              echelon::benchutil::kGitDirty);
   benchmark::AddCustomContext(
       "echelon_hardware_concurrency",
       echelon::benchutil::hardware_concurrency_context());

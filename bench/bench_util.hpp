@@ -34,9 +34,25 @@
 #define ECHELON_BUILD_TYPE "unspecified"
 #endif
 
+// Build provenance, also baked in by bench/CMakeLists.txt at configure time:
+// the short commit hash and whether the working tree had uncommitted changes.
+// Every gbench main records both in its JSON context (`echelon_git_commit` /
+// `echelon_git_dirty`) so BENCH_hotpath.json entries can always be traced
+// back to the exact code that produced them -- and dirty-tree numbers are
+// visibly marked as such. Unknown (no git at configure time) degrades to
+// "unknown"/"true": never trustworthy-looking by accident.
+#ifndef ECHELON_GIT_COMMIT
+#define ECHELON_GIT_COMMIT "unknown"
+#endif
+#ifndef ECHELON_GIT_DIRTY
+#define ECHELON_GIT_DIRTY "true"
+#endif
+
 namespace echelon::benchutil {
 
 inline constexpr const char* kBuildType = ECHELON_BUILD_TYPE;
+inline constexpr const char* kGitCommit = ECHELON_GIT_COMMIT;
+inline constexpr const char* kGitDirty = ECHELON_GIT_DIRTY;
 
 // True only for fully optimized build types suitable for recording
 // baselines (Release / RelWithDebInfo / MinSizeRel; RelWithDebInfo is -O2

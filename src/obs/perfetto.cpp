@@ -230,7 +230,8 @@ std::size_t write_perfetto_trace(std::ostream& os, const TraceRecorder& rec,
   meta("process_name", kControlPid, 0, false, "control plane");
   for (const TraceKind k :
        {TraceKind::kControlPass, TraceKind::kAllocPass, TraceKind::kFaultFired,
-        TraceKind::kHeuristicRun, TraceKind::kReuseHit}) {
+        TraceKind::kHeuristicRun, TraceKind::kReuseHit,
+        TraceKind::kSchedPass}) {
     meta("thread_name", kControlPid, static_cast<std::uint64_t>(k), true,
          to_string(k));
   }
@@ -319,10 +320,14 @@ std::size_t write_perfetto_trace(std::ostream& os, const TraceRecorder& rec,
       case TraceKind::kFaultFired:
       case TraceKind::kHeuristicRun:
       case TraceKind::kReuseHit:
+      case TraceKind::kSchedPass:
         instant(ev, kControlPid, static_cast<std::uint64_t>(ev.kind),
                 "control",
                 std::string(to_string(ev.kind)) + " " + std::to_string(ev.id));
         break;
+      case TraceKind::kCompFill:
+      case TraceKind::kClassFill:
+        break;  // per-component fill detail has no Perfetto track (yet)
     }
   }
 

@@ -133,6 +133,15 @@ struct RunSpec {
   // bit-identical at every setting -- that IS the axis
   // tests/test_parallel_equivalence.cpp sweeps.
   unsigned threads = 1;
+  // Control-plane recomputation mode -- the axis
+  // tests/test_churn_equivalence.cpp sweeps: kIncremental (dirty-job-scoped
+  // scheduler passes) and kFullRecompute must produce bit-identical results
+  // and trace streams.
+  netsim::SchedMode sched_mode = netsim::SchedMode::kIncremental;
+  // Non-zero: seeded external weight churn through the Flow notification
+  // setters during the run (ExperimentConfig::churn_seed); exercises the
+  // pre-control control_dirty scan -> job-mark path.
+  std::uint64_t churn_seed = 0;
   // Optional structured-event capture (differential suites compare whole
   // streams, not just end-of-run aggregates).
   obs::TraceSink* trace_sink = nullptr;
@@ -153,6 +162,8 @@ inline cluster::ExperimentResult run_cluster(
   cfg.fill_mode = spec.fill;
   cfg.fault_plan = spec.plan;
   cfg.threads = spec.threads;
+  cfg.sched_mode = spec.sched_mode;
+  cfg.churn_seed = spec.churn_seed;
   if (spec.trace_sink != nullptr) {
     cfg.trace_sink = spec.trace_sink;
     cfg.trace_detail = spec.trace_detail;
@@ -255,6 +266,35 @@ inline std::vector<cluster::JobSpec> small_trace(std::uint64_t seed,
   return jobs;
 }
 
+// Streaming-churn trace (EXPERIMENTS.md EXT-R): more, smaller jobs with
+// tightly overlapping Poisson arrivals, so the control plane sees a steady
+// stream of per-job dirty marks (arrivals, completions) rather than the
+// mostly-steady membership of small_trace. The churn-equivalence suite runs
+// these with RunSpec::churn_seed set as well, layering external setter
+// churn on top of the membership churn.
+inline std::vector<cluster::JobSpec> churn_trace(std::uint64_t seed) {
+  cluster::TraceConfig tcfg;
+  tcfg.num_jobs = 10;
+  tcfg.seed = seed;
+  tcfg.arrival_rate = 8.0;  // dense overlap: several jobs in flight at once
+  tcfg.iterations = 2;
+  tcfg.min_width = 512;
+  tcfg.max_width = 1024;
+  tcfg.rank_choices = {2, 3, 4};
+  return cluster::generate_trace(tcfg);
+}
+
+// Seed budget for the randomized differential sweeps: CI sets the env var
+// (e.g. ECHELON_CHURN_SEEDS) low on sanitizer legs and leaves the larger
+// default for the plain legs.
+[[nodiscard]] inline int env_seed_budget(const char* name, int def) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
 // ============================================================================
 // The scheduler x fabric param fixture
 // ============================================================================
@@ -268,6 +308,7 @@ inline auto all_sched_fabric_params() {
       ::testing::Values(cluster::SchedulerKind::kFairSharing,
                         cluster::SchedulerKind::kSrpt,
                         cluster::SchedulerKind::kCoflowMadd,
+                        cluster::SchedulerKind::kSincronia,
                         cluster::SchedulerKind::kEchelonMadd,
                         cluster::SchedulerKind::kCoordinator),
       ::testing::Values(cluster::FabricKind::kBigSwitch,
@@ -286,7 +327,7 @@ inline std::string sched_fabric_name(
   return name;
 }
 
-// Instantiates a TEST_P suite over all five schedulers x both fabrics.
+// Instantiates a TEST_P suite over all six schedulers x both fabrics.
 // `Suite` must be SchedFabricTest or an alias of it.
 #define ECHELON_INSTANTIATE_SCHED_FABRIC(Suite)                        \
   INSTANTIATE_TEST_SUITE_P(AllSchedulersBothFabrics, Suite,            \

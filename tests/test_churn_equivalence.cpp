@@ -1,0 +1,421 @@
+// Control-plane churn-equivalence suite (DESIGN.md §12).
+//
+// The incremental control plane promises *bit identity* with the
+// kFullRecompute reference mode: dirty-job-scoped scheduler passes must
+// produce exactly the decisions a full recomputation would, under streaming
+// job churn (arrivals/completions), fault outcomes, external setter churn,
+// and at any intra-run parallelism width. Four sections:
+//
+//   1. Scheduler x fabric matrix: full-vs-incremental on the streaming-churn
+//      trace with external setter churn layered on, results AND whole trace
+//      streams compared bitwise; plus a chaos-plan cross that also sweeps
+//      the threads axis {1, 2, 8}.
+//   2. Seeded differential fuzz: >= 100 seeded (trace, churn, chaos,
+//      scheduler, fabric, threads) combinations (ECHELON_CHURN_SEEDS
+//      overrides the budget; CI sanitizer legs set it to 8), each run in
+//      both modes and compared bitwise.
+//   3. Direct-drive twin differential: the same address-stable flow
+//      population driven through two scheduler instances (one incremental,
+//      one full) with per-round dirty marks, membership churn and capacity
+//      churn; every flow's weight/rate_cap compared bitwise after every
+//      pass. Covers EchelonFlow-MADD, SRPT, Coflow-MADD and Sincronia
+//      without simulator noise.
+//   4. Steady-state economics: exact skip on mark-less same-era passes, and
+//      zero heap allocations across steady-state incremental passes
+//      (skipped under ASan/TSan where the counting hook is disabled).
+
+#include "equivalence_harness.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "echelon/coflow_madd.hpp"
+#include "echelon/echelon_madd.hpp"
+#include "echelon/registry.hpp"
+#include "echelon/sincronia.hpp"
+#include "echelon/srpt.hpp"
+#include "obs/trace.hpp"
+
+namespace echelon {
+namespace {
+
+using cluster::FabricKind;
+using cluster::SchedulerKind;
+using eqh::churn_trace;
+using eqh::expect_same_result;
+using eqh::expect_same_trace;
+using eqh::run_cluster;
+using eqh::RunSpec;
+using faultsim::ChaosProfile;
+using faultsim::FaultPlan;
+using netsim::SchedMode;
+
+FaultPlan chaos_plan(std::uint64_t seed, const topology::Topology& topo) {
+  ChaosProfile p;
+  p.seed = seed;
+  p.horizon = 1.5;
+  p.link_faults = 3;
+  p.brownouts = 2;
+  p.stragglers = 2;
+  return faultsim::from_chaos(p, topo, /*worker_count=*/24, /*job_count=*/10);
+}
+
+// ============================================================================
+// 1. Scheduler x fabric matrix
+// ============================================================================
+
+using ChurnSchedFabric = eqh::SchedFabricTest;
+
+TEST_P(ChurnSchedFabric, FullVsIncrementalBitIdenticalWithSetterChurn) {
+  const auto [sched, fabric] = GetParam();
+  const auto jobs = churn_trace(11);
+
+  obs::TraceRecorder rec_full(1 << 16);
+  obs::TraceRecorder rec_inc(1 << 16);
+  RunSpec full{.scheduler = sched, .fabric = fabric};
+  full.sched_mode = SchedMode::kFullRecompute;
+  full.churn_seed = 77;
+  full.trace_sink = &rec_full;
+  RunSpec inc = full;
+  inc.sched_mode = SchedMode::kIncremental;
+  inc.trace_sink = &rec_inc;
+
+  const auto a = run_cluster(jobs, full);
+  const auto b = run_cluster(jobs, inc);
+  expect_same_result(a, b);
+  expect_same_trace(rec_full, rec_inc);
+}
+
+TEST_P(ChurnSchedFabric, FullVsIncrementalUnderChaosAcrossThreads) {
+  const auto [sched, fabric] = GetParam();
+  const auto jobs = churn_trace(23);
+  const auto built = eqh::run_cluster_fabric(fabric);
+  const FaultPlan plan = chaos_plan(5, built.topo);
+
+  RunSpec full{.scheduler = sched, .fabric = fabric};
+  full.plan = &plan;
+  full.sched_mode = SchedMode::kFullRecompute;
+  full.churn_seed = 13;
+  const auto reference = run_cluster(jobs, full);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    RunSpec inc = full;
+    inc.sched_mode = SchedMode::kIncremental;
+    inc.threads = threads;
+    const auto b = run_cluster(jobs, inc);
+    expect_same_result(reference, b);
+  }
+}
+
+ECHELON_INSTANTIATE_SCHED_FABRIC(ChurnSchedFabric);
+
+// ============================================================================
+// 2. Seeded differential fuzz
+// ============================================================================
+
+TEST(ChurnFuzz, ManySeededRunsAgreeAcrossModes) {
+  const int budget = eqh::env_seed_budget("ECHELON_CHURN_SEEDS", 100);
+
+  constexpr SchedulerKind kKinds[] = {
+      SchedulerKind::kFairSharing, SchedulerKind::kSrpt,
+      SchedulerKind::kCoflowMadd,  SchedulerKind::kSincronia,
+      SchedulerKind::kEchelonMadd, SchedulerKind::kCoordinator};
+  constexpr FabricKind kFabrics[] = {FabricKind::kBigSwitch,
+                                     FabricKind::kLeafSpine};
+  constexpr unsigned kThreads[] = {1u, 2u, 8u};
+
+  for (int s = 0; s < budget; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s);
+    const auto jobs = churn_trace(1000 + seed);
+    RunSpec full;
+    full.scheduler = kKinds[s % 6];
+    full.fabric = kFabrics[(s / 6) % 2];
+    full.threads = kThreads[s % 3];
+    full.sched_mode = SchedMode::kFullRecompute;
+    full.churn_seed = (s % 4 == 0) ? 0 : 7000 + seed;  // some churn-free
+
+    const auto built = eqh::run_cluster_fabric(full.fabric);
+    FaultPlan plan;
+    if (s % 2 == 1) plan = chaos_plan(seed, built.topo);
+    if (s % 2 == 1) full.plan = &plan;
+
+    RunSpec inc = full;
+    inc.sched_mode = SchedMode::kIncremental;
+
+    const auto a = run_cluster(jobs, full);
+    const auto b = run_cluster(jobs, inc);
+    expect_same_result(a, b);
+    if (HasFailure()) {
+      FAIL() << "first divergence at seed " << s << " (scheduler "
+             << cluster::to_string(full.scheduler) << ", fabric "
+             << (full.fabric == FabricKind::kBigSwitch ? "bigswitch"
+                                                       : "leafspine")
+             << ", threads " << full.threads << ", chaos " << (s % 2)
+             << ", churn_seed " << full.churn_seed << ")";
+    }
+  }
+}
+
+// ============================================================================
+// 3. Direct-drive twin differential
+// ============================================================================
+
+// Address-stable foreign-flow population: `jobs` link-disjoint 8-member
+// pipeline EchelonFlows, each with its own JobId and host range. Foreign
+// flows (ids outside the simulator's table) exercise the hint-pointer
+// binding path of the incremental caches.
+constexpr int kMembers = 8;
+
+struct Population {
+  topology::BuiltFabric fabric;
+  std::unique_ptr<netsim::Simulator> sim;
+  ef::Registry reg;
+  std::vector<netsim::Flow> flows;
+
+  explicit Population(int jobs)
+      : fabric(topology::make_big_switch(jobs * (kMembers + 1), gbps(100))),
+        sim(std::make_unique<netsim::Simulator>(&fabric.topo)) {
+    flows.reserve(static_cast<std::size_t>(jobs) * kMembers);
+    for (int j = 0; j < jobs; ++j) {
+      const EchelonFlowId efid = reg.create(
+          JobId{static_cast<std::uint64_t>(j)},
+          ef::Arrangement::pipeline(kMembers, 0.01));
+      for (int m = 0; m < kMembers; ++m) {
+        netsim::Flow f;
+        f.id = FlowId{static_cast<std::uint64_t>(flows.size())};
+        f.spec.job = JobId{static_cast<std::uint64_t>(j)};
+        f.spec.group = efid;
+        f.spec.index_in_group = m;
+        f.spec.size = 1e8 + 1e6 * static_cast<double>(j * kMembers + m);
+        f.remaining = f.spec.size;
+        const auto src = fabric.hosts[static_cast<std::size_t>(
+            j * (kMembers + 1) + m)];
+        const auto dst = fabric.hosts[static_cast<std::size_t>(
+            j * (kMembers + 1) + m + 1)];
+        f.path = *fabric.topo.route(src, dst, flows.size());
+        reg.get(efid).note_start(m, f.id, f.spec.size,
+                                 0.001 * static_cast<double>(m));
+        flows.push_back(std::move(f));
+      }
+    }
+  }
+};
+
+enum class PolicyKind { kEchelonMadd, kSrpt, kCoflowMadd, kSincronia };
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kEchelonMadd: return "echelonflow-madd";
+    case PolicyKind::kSrpt: return "srpt";
+    case PolicyKind::kCoflowMadd: return "coflow-madd";
+    case PolicyKind::kSincronia: return "sincronia";
+  }
+  return "?";
+}
+
+// One population + one scheduler instance, driven directly (no event loop):
+// the harness delivers arrival/departure hooks and dirty marks exactly as
+// the Simulator would.
+struct Twin {
+  Population pop;
+  std::unique_ptr<netsim::NetworkScheduler> sched;
+  std::vector<netsim::Flow*> active;
+
+  Twin(int jobs, PolicyKind kind, SchedMode mode) : pop(jobs) {
+    switch (kind) {
+      case PolicyKind::kEchelonMadd:
+        sched = std::make_unique<ef::EchelonMaddScheduler>(&pop.reg);
+        break;
+      case PolicyKind::kSrpt:
+        sched = std::make_unique<ef::SrptScheduler>();
+        break;
+      case PolicyKind::kCoflowMadd:
+        sched = std::make_unique<ef::CoflowMaddScheduler>();
+        break;
+      case PolicyKind::kSincronia:
+        sched = std::make_unique<ef::SincroniaScheduler>();
+        break;
+    }
+    sched->set_sched_mode(mode);
+    for (netsim::Flow& f : pop.flows) {
+      active.push_back(&f);
+      sched->on_flow_arrival(*pop.sim, f);
+      sched->mark_job_dirty(f.spec.job);
+    }
+  }
+
+  void depart(std::size_t idx) {
+    netsim::Flow* f = active[idx];
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(idx));
+    sched->on_flow_departure(*pop.sim, *f);
+    sched->mark_job_dirty(f->spec.job);
+  }
+
+  void arrive(netsim::Flow* f) {
+    // Span order is ascending FlowId in the simulator; keep it sorted.
+    auto it = active.begin();
+    while (it != active.end() && (*it)->id < f->id) ++it;
+    active.insert(it, f);
+    sched->on_flow_arrival(*pop.sim, *f);
+    sched->mark_job_dirty(f->spec.job);
+  }
+
+  void control() { sched->control(*pop.sim, active); }
+};
+
+void expect_same_decisions(const Twin& a, const Twin& b, int round) {
+  ASSERT_EQ(a.pop.flows.size(), b.pop.flows.size());
+  for (std::size_t i = 0; i < a.pop.flows.size(); ++i) {
+    const netsim::Flow& fa = a.pop.flows[i];
+    const netsim::Flow& fb = b.pop.flows[i];
+    EXPECT_BITEQ(fa.weight, fb.weight) << "flow " << i << " round " << round;
+    ASSERT_EQ(fa.rate_cap.has_value(), fb.rate_cap.has_value())
+        << "flow " << i << " round " << round;
+    if (fa.rate_cap.has_value()) {
+      EXPECT_BITEQ(*fa.rate_cap, *fb.rate_cap)
+          << "flow " << i << " round " << round;
+    }
+  }
+}
+
+class ChurnTwin : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(ChurnTwin, ScopedPassesMatchFullRecompute) {
+  const PolicyKind kind = GetParam();
+  const int jobs = 16;
+  Twin full(jobs, kind, SchedMode::kFullRecompute);
+  Twin inc(jobs, kind, SchedMode::kIncremental);
+
+  Rng rng(2024);
+  std::vector<std::size_t> parked;  // indices into pop.flows, departed
+  for (int round = 0; round < 120; ++round) {
+    const std::uint64_t action = rng.uniform_int(10);
+    if (action < 5) {
+      // Dirty-mark churn: between 1 and 4 random jobs.
+      const int d = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int k = 0; k < d; ++k) {
+        const JobId j{rng.uniform_int(static_cast<std::uint64_t>(jobs))};
+        full.sched->mark_job_dirty(j);
+        inc.sched->mark_job_dirty(j);
+      }
+    } else if (action < 7 && full.active.size() > 8) {
+      // Membership churn: one departure (same index in both twins).
+      const std::size_t idx = rng.uniform_int(full.active.size());
+      parked.push_back(full.active[idx]->id.value());
+      full.depart(idx);
+      inc.depart(idx);
+    } else if (action == 7 && !parked.empty()) {
+      // Re-arrival of a departed member.
+      const std::size_t fi = parked.back();
+      parked.pop_back();
+      full.arrive(&full.pop.flows[fi]);
+      inc.arrive(&inc.pop.flows[fi]);
+    } else if (action == 8) {
+      // Capacity churn: identical link degradation in both fabrics -- the
+      // capacity-epoch bump moves the era and must force a full fallback.
+      const auto lid =
+          LinkId{rng.uniform_int(full.pop.fabric.topo.link_count())};
+      const double scale = 0.5 + 0.5 * rng.uniform();
+      full.pop.fabric.topo.set_link_capacity(
+          lid, full.pop.fabric.topo.link(lid).capacity * scale);
+      inc.pop.fabric.topo.set_link_capacity(
+          lid, inc.pop.fabric.topo.link(lid).capacity * scale);
+    }
+    // action == 9 (and starved churn buckets): a quiet round -- nothing
+    // marked, same era. The incremental twin must take the exact-skip tier
+    // and still match the full recompute bit for bit.
+    full.control();
+    inc.control();
+    expect_same_decisions(full, inc, round);
+    if (HasFailure()) {
+      FAIL() << "first divergence: policy " << to_string(kind) << " round "
+             << round;
+    }
+  }
+  // The incremental twin must actually have taken the fast tiers, or this
+  // test proves nothing.
+  const netsim::SchedStats& st = inc.sched->sched_stats();
+  EXPECT_GT(st.scoped_passes + st.pass_skips, 0u)
+      << "policy " << to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChurnTwin,
+                         ::testing::Values(PolicyKind::kEchelonMadd,
+                                           PolicyKind::kSrpt,
+                                           PolicyKind::kCoflowMadd,
+                                           PolicyKind::kSincronia),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ============================================================================
+// 4. Steady-state economics
+// ============================================================================
+
+TEST(ChurnSteadyState, MarklessSameEraPassIsAnExactSkip) {
+  Twin inc(8, PolicyKind::kEchelonMadd, SchedMode::kIncremental);
+  inc.control();  // consumes the arrival marks (full pass, enters the era)
+
+  std::vector<double> weights;
+  std::vector<double> caps;
+  for (const netsim::Flow& f : inc.pop.flows) {
+    weights.push_back(f.weight);
+    caps.push_back(f.rate_cap.value_or(-1.0));
+  }
+  const std::uint64_t skips_before = inc.sched->sched_stats().pass_skips;
+  for (int i = 0; i < 10; ++i) inc.control();
+  EXPECT_EQ(inc.sched->sched_stats().pass_skips, skips_before + 10);
+  for (std::size_t i = 0; i < inc.pop.flows.size(); ++i) {
+    EXPECT_BITEQ(inc.pop.flows[i].weight, weights[i]);
+    EXPECT_BITEQ(inc.pop.flows[i].rate_cap.value_or(-1.0), caps[i]);
+  }
+}
+
+TEST(ChurnSteadyState, IncrementalPassesAllocateNothing) {
+#if !ECHELON_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under this sanitizer";
+#else
+  for (const PolicyKind kind :
+       {PolicyKind::kEchelonMadd, PolicyKind::kSrpt, PolicyKind::kCoflowMadd}) {
+    const int jobs = 16;
+    Twin inc(jobs, kind, SchedMode::kIncremental);
+    // Warm-up: the initial full pass plus one scoped pass per job (stamps
+    // every rank cache) and one wide pass (high-waters the dirty set and
+    // the component scratch).
+    inc.control();
+    for (int j = 0; j < jobs; ++j) {
+      inc.sched->mark_job_dirty(JobId{static_cast<std::uint64_t>(j)});
+      inc.control();
+    }
+    for (int j = 0; j < jobs; ++j) {
+      inc.sched->mark_job_dirty(JobId{static_cast<std::uint64_t>(j)});
+    }
+    inc.control();
+
+    // Steady state: skip passes and scoped passes of every width.
+    eqh::alloc_count_begin();
+    for (int round = 0; round < 100; ++round) {
+      const int d = round % 4;  // 0 = skip tier
+      for (int k = 0; k < d; ++k) {
+        inc.sched->mark_job_dirty(
+            JobId{static_cast<std::uint64_t>((round + k * 5) % jobs)});
+      }
+      inc.control();
+    }
+    const std::uint64_t allocs = eqh::alloc_count_end();
+    EXPECT_EQ(allocs, 0u) << "policy " << to_string(kind);
+    const netsim::SchedStats& st = inc.sched->sched_stats();
+    EXPECT_GT(st.scoped_passes, 0u) << "policy " << to_string(kind);
+    EXPECT_GT(st.pass_skips, 0u) << "policy " << to_string(kind);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace echelon

@@ -2,7 +2,8 @@
 """Perf-smoke regression gate for the hot-path benchmarks.
 
 Compares fresh google-benchmark JSON output (bench_allocator,
-bench_coordinator_scale, bench_simloop, bench_parallel_alloc) against the
+bench_coordinator_scale, bench_simloop, bench_parallel_alloc,
+bench_route_class, bench_churn) against the
 checked-in baselines in BENCH_hotpath.json and fails if any benchmark
 regressed by more than the tolerance. Run from CI after the perf-smoke leg;
 deliberately NOT a ctest -- it needs the baseline file and a calibrated
@@ -44,13 +45,22 @@ excluded from the machine-speed calibration median (the class-vs-per-flow
 ratios span nearly two orders of magnitude and would swamp it); unlike the
 thread family they do not depend on machine shape and are gated normally.
 
+Control-churn family (bench_churn, EXPERIMENTS.md EXT-R): benchmarks whose
+name carries a "churn:" argument sweep the dirty fraction of the scheduler
+population across the incremental-vs-full SchedMode split. The
+incremental-vs-full ratios legitimately span integer factors and shift
+whenever the incremental tiers improve, so -- exactly like the route
+family -- they are excluded from the machine-speed calibration median but
+gated normally.
+
 Usage:
   bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
   bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
   bench_simloop           --benchmark_out=simloop.json --benchmark_out_format=json
   bench_parallel_alloc    --benchmark_out=par.json --benchmark_out_format=json
+  bench_churn             --benchmark_out=churn.json --benchmark_out_format=json
   tools/check_bench_regression.py --baseline BENCH_hotpath.json \
-      --tolerance 2.0 alloc.json coord.json simloop.json par.json
+      --tolerance 2.0 alloc.json coord.json simloop.json par.json churn.json
 
 Exit status: 0 = all within tolerance, 1 = regression, 2 = usage/IO error.
 """
@@ -68,6 +78,10 @@ THREAD_FAMILY_TAG = "threads:"
 # family: calibration-excluded but gated normally (see module docstring).
 ROUTE_FAMILY_TAG = "routes:"
 
+# Benchmark names carrying this argument tag belong to the control-churn
+# family: calibration-excluded but gated normally (see module docstring).
+CHURN_FAMILY_TAG = "churn:"
+
 # Baseline-run context marker: the recording host had a single CPU, so its
 # thread-scaling numbers are degenerate and never gated.
 SINGLE_CORE_MARKER = "single_core_host"
@@ -79,6 +93,10 @@ def is_thread_family(name):
 
 def is_route_family(name):
     return ROUTE_FAMILY_TAG in name
+
+
+def is_churn_family(name):
+    return CHURN_FAMILY_TAG in name
 
 
 def load_baseline(path):
@@ -171,7 +189,8 @@ def main():
     # Machine-speed calibration from the shape- and structure-insensitive
     # benchmarks only (falling back to everything if nothing else ran).
     calib_pool = [r for n, r in ratios.items()
-                  if not is_thread_family(n) and not is_route_family(n)]
+                  if not is_thread_family(n) and not is_route_family(n)
+                  and not is_churn_family(n)]
     if not calib_pool:
         calib_pool = list(ratios.values())
     calibration = 1.0 if args.no_normalize else statistics.median(calib_pool)
@@ -179,7 +198,8 @@ def main():
 
     print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
     calib_kind = ("raw" if args.no_normalize
-                  else "median fresh/baseline, thread/route families excluded")
+                  else "median fresh/baseline, thread/route/churn families "
+                  "excluded")
     print(f"machine-speed calibration: x{calibration:.3f} ({calib_kind})")
     failures = []
     shape_skipped = []

@@ -12,11 +12,20 @@
 //   --gbps G           (default 25)     --microbatches N (default 6)
 //   --layers N         (default 8)      --hidden N       (default 2048)
 //   --jitter X         (default 0)      --timeline       (render Gantt)
+//   --sched-mode full|incremental      (default incremental; DESIGN.md §12:
+//                       incremental = dirty-job-scoped control passes, full =
+//                       reference recompute-everything mode. Bit-identical.)
 //
 // `cluster` options:
 //   --jobs N (default 12)  --hosts N (default 16)  --seed S (default 42)
 //   --gbps G (default 25)  --iterations N (default 2)
 //   --scheduler <name>|all (default all)  --csv PATH (write results CSV)
+//     names: fair|srpt|coflow|sincronia|echelonflow|all
+//   --sched-mode full|incremental (default incremental; same as `single`)
+//   --churn-seed S (default 0 = off): seeded external weight churn through
+//     the Flow notification setters, one active flow per simulated
+//     millisecond -- exercises the control_dirty -> job-mark path
+//     (EXPERIMENTS.md EXT-R). Deterministic and SchedMode-independent.
 //   --threads N (default 0 = one per hardware thread; 1 = serial)
 //     scheduler comparisons run through cluster::run_sweep; output is
 //     identical for any thread count.
@@ -144,6 +153,22 @@ struct ObsArgs {
   return true;
 }
 
+// --sched-mode (DESIGN.md §12): both values produce bit-identical results;
+// `full` is the reference mode the churn-equivalence suite compares against.
+[[nodiscard]] bool parse_sched_mode(const Args& args, netsim::SchedMode* out) {
+  const std::string mode = args.get("sched-mode", "incremental");
+  if (mode == "incremental") {
+    *out = netsim::SchedMode::kIncremental;
+  } else if (mode == "full") {
+    *out = netsim::SchedMode::kFullRecompute;
+  } else {
+    std::cerr << "unknown --sched-mode '" << mode
+              << "' (expected full|incremental)\n";
+    return false;
+  }
+  return true;
+}
+
 // "sweep.json" + "srpt" -> "sweep.srpt.json"; extensionless paths get the
 // tag appended. Used by `cluster` to write one trace per sweep point.
 [[nodiscard]] std::string tag_path(const std::string& path,
@@ -256,7 +281,12 @@ int cmd_single(const Args& args) {
   ef::Registry reg;
   reg.attach(sim);
   auto sched = make_scheduler(sched_name, &reg);
-  if (sched) sim.set_scheduler(sched.get());
+  netsim::SchedMode sched_mode;
+  if (!parse_sched_mode(args, &sched_mode)) return 2;
+  if (sched) {
+    sched->set_sched_mode(sched_mode);
+    sim.set_scheduler(sched.get());
+  }
   netsim::TimelineRecorder timeline(sim);
 
   // Observability: attach only when requested -- the default run carries a
@@ -369,6 +399,7 @@ int cmd_cluster(const Args& args) {
     kinds = {cluster::SchedulerKind::kFairSharing,
              cluster::SchedulerKind::kSrpt,
              cluster::SchedulerKind::kCoflowMadd,
+             cluster::SchedulerKind::kSincronia,
              cluster::SchedulerKind::kEchelonMadd};
   } else if (which == "fair") {
     kinds = {cluster::SchedulerKind::kFairSharing};
@@ -376,12 +407,17 @@ int cmd_cluster(const Args& args) {
     kinds = {cluster::SchedulerKind::kSrpt};
   } else if (which == "coflow") {
     kinds = {cluster::SchedulerKind::kCoflowMadd};
+  } else if (which == "sincronia") {
+    kinds = {cluster::SchedulerKind::kSincronia};
   } else if (which == "echelonflow") {
     kinds = {cluster::SchedulerKind::kEchelonMadd};
   } else {
     std::cerr << "unknown scheduler '" << which << "'\n";
     return 2;
   }
+
+  netsim::SchedMode sched_mode;
+  if (!parse_sched_mode(args, &sched_mode)) return 2;
 
   // Optional fault injection: a scripted plan file, or a seeded chaos
   // profile drawn against the same fabric shape run_experiment will build.
@@ -431,6 +467,8 @@ int cmd_cluster(const Args& args) {
     cfg.scheduler = kind;
     cfg.hosts = hosts;
     cfg.port_capacity = gbps(cap_gbps);
+    cfg.sched_mode = sched_mode;
+    cfg.churn_seed = static_cast<std::uint64_t>(args.geti("churn-seed", 0));
     // Intra-run data parallelism (per-component water-fill etc.); results
     // are bit-identical at any setting, so this is purely a speed knob.
     cfg.threads =
