@@ -19,19 +19,10 @@
 
 namespace echelon::cluster {
 
-namespace {
-
-struct LiveJob {
-  JobSpec spec;
-  workload::GeneratedJob generated;
-  std::vector<WorkerId> workers;
-  std::unique_ptr<netsim::WorkflowEngine> engine;
-};
-
-workload::GeneratedJob generate(const JobSpec& spec,
-                                const workload::Placement& placement,
-                                NodeId ps_host, WorkerId ps_worker,
-                                ef::Registry& registry, JobId id) {
+workload::GeneratedJob generate_job_workflow(const JobSpec& spec,
+                                             const workload::Placement& placement,
+                                             NodeId ps_host, WorkerId ps_worker,
+                                             ef::Registry& registry, JobId id) {
   using workload::Paradigm;
   switch (spec.paradigm) {
     case Paradigm::kDpAllReduce:
@@ -78,6 +69,15 @@ workload::GeneratedJob generate(const JobSpec& spec,
   assert(false && "unknown paradigm");
   return {};
 }
+
+namespace {
+
+struct LiveJob {
+  JobSpec spec;
+  workload::GeneratedJob generated;
+  std::vector<WorkerId> workers;
+  std::unique_ptr<netsim::WorkflowEngine> engine;
+};
 
 // Seeded external-churn driver (EXPERIMENTS.md EXT-R): every `period` of
 // simulated time, perturb one active routed flow's weight through the
@@ -269,8 +269,8 @@ ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
     next_host = (next_host + consumed) % H;
 
     LiveJob lj{.spec = spec};
-    lj.generated =
-        generate(spec, placement, ps_host, ps_worker, *registry, JobId{j});
+    lj.generated = generate_job_workflow(spec, placement, ps_host, ps_worker,
+                                         *registry, JobId{j});
     lj.workers = placement.workers;
     if (ps_worker.valid()) lj.workers.push_back(ps_worker);
     live.push_back(std::move(lj));

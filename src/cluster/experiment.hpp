@@ -136,4 +136,14 @@ struct ExperimentConfig {
 [[nodiscard]] ExperimentResult run_experiment(const std::vector<JobSpec>& jobs,
                                               const ExperimentConfig& config);
 
+// Expands one JobSpec into its paradigm's workflow graph on the given
+// placement, registering echelon groups under `id`. `ps_host`/`ps_worker`
+// are only consumed by the DP-PS paradigm (the parameter-server endpoint).
+// Shared by run_experiment's batch placement loop and the online service's
+// incremental job launch (src/service): both must expand jobs identically
+// for batch and streaming runs to be comparable.
+[[nodiscard]] workload::GeneratedJob generate_job_workflow(
+    const JobSpec& spec, const workload::Placement& placement, NodeId ps_host,
+    WorkerId ps_worker, ef::Registry& registry, JobId id);
+
 }  // namespace echelon::cluster

@@ -91,6 +91,17 @@ class Rng {
 
   [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
 
+  // Raw generator state, exposed so long-running services can checkpoint a
+  // stream mid-flight and resume it bit-exactly (DESIGN.md §13). The state is
+  // the full xoshiro256** word vector; restoring it reproduces the identical
+  // draw sequence on every platform.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   [[nodiscard]] static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -109,6 +109,20 @@ class EventQueue {
     }
   }
 
+  // Total events ever scheduled (the tie-break sequence counter). Part of
+  // the service snapshot's verification image: two runs that executed the
+  // same event history have the same counter.
+  [[nodiscard]] std::uint64_t scheduled_seq() const noexcept { return seq_; }
+
+  // Visits the (at, seq) key of every pending entry in unspecified (heap)
+  // order. Callbacks are opaque closures and cannot be serialized, but the
+  // multiset of pending keys is a strong fingerprint of queue state -- the
+  // service snapshot folds it into an order-insensitive digest.
+  template <typename Visitor>
+  void for_each_pending(Visitor&& visit) const {
+    for (const Entry& e : heap_) visit(e.at, e.seq);
+  }
+
  private:
   struct Entry {
     SimTime at;

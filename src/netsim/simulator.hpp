@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -324,6 +325,41 @@ class Simulator {
   // Count of scheduler control passes -- a measure of control-plane load.
   [[nodiscard]] std::uint64_t control_invocations() const noexcept {
     return control_invocations_;
+  }
+
+  // --- snapshot introspection (src/service, DESIGN.md §13) ---
+  // Read-only views of the engine's internal clocks and queues, consumed by
+  // the service snapshot layer to build its bitwise verification image. None
+  // of these mutate state or observe anything mode-dependent.
+  [[nodiscard]] SimTime epoch_time() const noexcept { return epoch_time_; }
+  [[nodiscard]] const EventQueue& events() const noexcept { return events_; }
+  // Order-insensitive FNV-1a fold over the completion heap's (tc, flow, gen)
+  // triples plus its size and rebuild generation. Two simulators whose
+  // histories diverged anywhere upstream of completion scheduling disagree
+  // here with overwhelming probability; identical histories agree exactly
+  // (the heap's *array* order may differ between lazily-rebuilt heaps, hence
+  // the commutative fold).
+  [[nodiscard]] std::uint64_t completion_heap_digest() const noexcept {
+    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    std::uint64_t acc = 0;
+    for (const CompletionEntry& e : completion_heap_) {
+      std::uint64_t h = kOffset;
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(e.tc));
+      std::memcpy(&bits, &e.tc, sizeof(bits));
+      for (const std::uint64_t word : {bits, static_cast<std::uint64_t>(
+                                                 e.flow.value()),
+                                       e.gen}) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (word >> (8 * i)) & 0xff;
+          h *= kPrime;
+        }
+      }
+      acc += h;  // commutative: heap array order is not part of the contract
+    }
+    return acc ^ (static_cast<std::uint64_t>(completion_heap_.size()) << 1) ^
+           heap_gen_;
   }
 
  private:

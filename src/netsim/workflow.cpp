@@ -69,10 +69,16 @@ void WorkflowEngine::release(WfNodeId id) {
 void WorkflowEngine::node_done(WfNodeId id) {
   finish_times_[id] = sim_->now();
   ++completed_;
+  // Barriers and zero-byte flows complete synchronously inside release(), so
+  // a successor's node_done can run -- and observe finished() -- before this
+  // frame returns. Only the call whose own increment completed the workflow
+  // may fire on_complete, otherwise every frame in the synchronous release
+  // chain would re-fire it.
+  const bool completes_workflow = finished();
   for (WfNodeId succ : wf_->node(id).successors) {
     if (--pending_[succ] == 0) release(succ);
   }
-  if (finished() && on_complete) on_complete(*sim_);
+  if (completes_workflow && on_complete) on_complete(*sim_);
 }
 
 }  // namespace echelon::netsim

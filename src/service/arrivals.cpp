@@ -1,0 +1,316 @@
+#include "service/arrivals.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/model.hpp"
+
+namespace echelon::service {
+
+namespace {
+
+workload::Paradigm paradigm_from_string(const std::string& s, int lineno) {
+  using workload::Paradigm;
+  for (const Paradigm p :
+       {Paradigm::kDpAllReduce, Paradigm::kDpPs, Paradigm::kPipeline,
+        Paradigm::kTensor, Paradigm::kFsdp, Paradigm::kExpert}) {
+    if (s == workload::to_string(p)) return p;
+  }
+  throw std::invalid_argument("arrival trace line " + std::to_string(lineno) +
+                              ": unknown paradigm '" + s + "'");
+}
+
+const char* pp_schedule_name(workload::PipelineSchedule s) noexcept {
+  return s == workload::PipelineSchedule::kGpipe ? "gpipe" : "1f1b";
+}
+
+workload::PipelineSchedule pp_schedule_from_string(const std::string& s,
+                                                   int lineno) {
+  if (s == "gpipe") return workload::PipelineSchedule::kGpipe;
+  if (s == "1f1b") return workload::PipelineSchedule::kOneFOneB;
+  throw std::invalid_argument("arrival trace line " + std::to_string(lineno) +
+                              ": unknown pipeline schedule '" + s + "'");
+}
+
+[[noreturn]] void fail(int lineno, const std::string& what) {
+  throw std::invalid_argument("arrival trace line " + std::to_string(lineno) +
+                              ": " + what);
+}
+
+// Reads one expected keyword token; loud mismatch diagnostics.
+void expect_key(std::istringstream& ls, const char* key, int lineno) {
+  std::string tok;
+  if (!(ls >> tok) || tok != key) {
+    fail(lineno, "expected '" + std::string(key) + "', got '" + tok + "'");
+  }
+}
+
+template <typename T>
+T read_value(std::istringstream& ls, const char* key, int lineno) {
+  expect_key(ls, key, lineno);
+  T v{};
+  if (!(ls >> v)) fail(lineno, std::string("malformed value for ") + key);
+  return v;
+}
+
+// Name fields sit last on their line and run to end-of-line (names may
+// contain spaces), mirroring fault_plan's free-tail convention.
+std::string read_name_tail(std::istringstream& ls, int lineno) {
+  expect_key(ls, "name", lineno);
+  std::string rest;
+  std::getline(ls, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  if (rest.empty()) fail(lineno, "empty name");
+  return rest;
+}
+
+std::string next_line(std::istream& in, int& lineno) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    fail(lineno, "unexpected end of trace");
+  }
+  ++lineno;
+  return line;
+}
+
+void put_f(std::ostream& out, double v) {
+  out << std::setprecision(17) << v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PoissonArrivalGenerator
+// ---------------------------------------------------------------------------
+
+PoissonArrivalGenerator::PoissonArrivalGenerator(
+    const cluster::TraceConfig& config, int burst_every)
+    : config_(config), burst_every_(burst_every), rng_(config.seed) {
+  if (config_.arrival_rate <= 0.0) {
+    throw std::invalid_argument(
+        "PoissonArrivalGenerator: arrival_rate must be > 0");
+  }
+  if (config_.num_jobs < 0) {
+    throw std::invalid_argument(
+        "PoissonArrivalGenerator: num_jobs must be >= 0");
+  }
+  if (config_.paradigm_weights.size() != 6) {
+    throw std::invalid_argument(
+        "PoissonArrivalGenerator: paradigm_weights must have 6 entries");
+  }
+  if (config_.rank_choices.empty()) {
+    throw std::invalid_argument(
+        "PoissonArrivalGenerator: rank_choices must be non-empty");
+  }
+}
+
+std::optional<Arrival> PoissonArrivalGenerator::next() {
+  if (emitted_ >= config_.num_jobs) return std::nullopt;
+
+  // EXACTLY generate_trace's per-job draw sequence (cluster/trace.cpp):
+  // paradigm, rank choice, layer count, log-uniform width, then the
+  // exponential gap consumed AFTER the arrival instant is recorded. Keeping
+  // the order identical is what makes this stream == generate_trace(config)
+  // element-for-element (tests/test_service.cpp pins it).
+  cluster::JobSpec spec;
+  {
+    double total = 0.0;
+    for (const double w : config_.paradigm_weights) total += w;
+    double x = rng_.uniform(0.0, total);
+    spec.paradigm = workload::Paradigm::kDpAllReduce;
+    for (std::size_t i = 0; i < config_.paradigm_weights.size(); ++i) {
+      x -= config_.paradigm_weights[i];
+      if (x <= 0.0) {
+        spec.paradigm = static_cast<workload::Paradigm>(i);
+        break;
+      }
+    }
+  }
+  spec.ranks =
+      config_.rank_choices[rng_.uniform_int(config_.rank_choices.size())];
+
+  const int layers =
+      config_.min_layers +
+      static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(
+          config_.max_layers - config_.min_layers + 1)));
+  const double lw = rng_.uniform(std::log(double(config_.min_width)),
+                                 std::log(double(config_.max_width)));
+  const int width = static_cast<int>(std::exp(lw));
+
+  const int eff_layers = spec.paradigm == workload::Paradigm::kPipeline
+                             ? std::max(layers, spec.ranks)
+                             : layers;
+  spec.model = workload::make_mlp(eff_layers, width, config_.batch);
+  spec.gpu = config_.gpu;
+  spec.iterations = config_.iterations;
+  spec.buckets = std::min(4, eff_layers);
+  spec.micro_batches = 4;
+  spec.arrival = clock_;
+
+  const double gap = rng_.exponential(config_.arrival_rate);
+  ++emitted_;
+  // Burst knob: every Nth job's *successor* arrives at the same instant --
+  // the gap draw above was still consumed, so the job parameter stream is
+  // untouched and burst_every == 0 reproduces generate_trace exactly.
+  if (burst_every_ < 2 || emitted_ % burst_every_ != 0) {
+    clock_ += gap;
+  }
+  return Arrival{spec.arrival, std::move(spec)};
+}
+
+// ---------------------------------------------------------------------------
+// Trace-file serialization
+// ---------------------------------------------------------------------------
+
+void write_arrival_trace(std::ostream& out,
+                         const std::vector<Arrival>& arrivals) {
+  out << "# echelonflow arrival trace v1\n";
+  out << "arrivals " << arrivals.size() << "\n";
+  for (const Arrival& a : arrivals) {
+    const cluster::JobSpec& j = a.job;
+    out << "arrival ";
+    put_f(out, a.at);
+    out << " paradigm " << workload::to_string(j.paradigm) << " ranks "
+        << j.ranks << " iterations " << j.iterations << " buckets "
+        << j.buckets << " micro " << j.micro_batches << " ppsched "
+        << pp_schedule_name(j.pp_schedule) << " jitter ";
+    put_f(out, j.compute_jitter);
+    out << " jseed " << j.jitter_seed << " submit ";
+    put_f(out, j.arrival);
+    out << "\n";
+    out << "gpu peak ";
+    put_f(out, j.gpu.peak_flops);
+    out << " eff ";
+    put_f(out, j.gpu.efficiency);
+    out << " name " << j.gpu.name << "\n";
+    out << "model bpe ";
+    put_f(out, j.model.bytes_per_element);
+    out << " layers " << j.model.layers.size() << " name " << j.model.name
+        << "\n";
+    for (const workload::LayerSpec& l : j.model.layers) {
+      out << "layer params " << l.params << " act ";
+      put_f(out, l.activation_bytes);
+      out << " fwd ";
+      put_f(out, l.fwd_flops);
+      out << " bwd ";
+      put_f(out, l.bwd_flops);
+      out << " name " << l.name << "\n";
+    }
+  }
+}
+
+std::string serialize_arrivals(const std::vector<Arrival>& arrivals) {
+  std::ostringstream out;
+  write_arrival_trace(out, arrivals);
+  return out.str();
+}
+
+std::vector<Arrival> parse_arrival_trace(std::istream& in) {
+  int lineno = 0;
+  std::string line = next_line(in, lineno);
+  if (line != "# echelonflow arrival trace v1") {
+    fail(lineno, "bad header '" + line + "'");
+  }
+  line = next_line(in, lineno);
+  std::istringstream count_ls(line);
+  const auto count = read_value<std::uint64_t>(count_ls, "arrivals", lineno);
+
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Arrival a;
+    cluster::JobSpec& j = a.job;
+    {
+      std::istringstream ls(next_line(in, lineno));
+      a.at = read_value<double>(ls, "arrival", lineno);
+      expect_key(ls, "paradigm", lineno);
+      std::string pname;
+      if (!(ls >> pname)) fail(lineno, "missing paradigm");
+      j.paradigm = paradigm_from_string(pname, lineno);
+      j.ranks = read_value<int>(ls, "ranks", lineno);
+      j.iterations = read_value<int>(ls, "iterations", lineno);
+      j.buckets = read_value<int>(ls, "buckets", lineno);
+      j.micro_batches = read_value<int>(ls, "micro", lineno);
+      expect_key(ls, "ppsched", lineno);
+      std::string sname;
+      if (!(ls >> sname)) fail(lineno, "missing ppsched");
+      j.pp_schedule = pp_schedule_from_string(sname, lineno);
+      j.compute_jitter = read_value<double>(ls, "jitter", lineno);
+      j.jitter_seed = read_value<std::uint64_t>(ls, "jseed", lineno);
+      j.arrival = read_value<double>(ls, "submit", lineno);
+    }
+    {
+      std::istringstream ls(next_line(in, lineno));
+      expect_key(ls, "gpu", lineno);
+      j.gpu.peak_flops = read_value<double>(ls, "peak", lineno);
+      j.gpu.efficiency = read_value<double>(ls, "eff", lineno);
+      j.gpu.name = read_name_tail(ls, lineno);
+    }
+    std::uint64_t layer_count = 0;
+    {
+      std::istringstream ls(next_line(in, lineno));
+      expect_key(ls, "model", lineno);
+      j.model.bytes_per_element = read_value<double>(ls, "bpe", lineno);
+      layer_count = read_value<std::uint64_t>(ls, "layers", lineno);
+      j.model.name = read_name_tail(ls, lineno);
+    }
+    j.model.layers.reserve(layer_count);
+    for (std::uint64_t l = 0; l < layer_count; ++l) {
+      std::istringstream ls(next_line(in, lineno));
+      expect_key(ls, "layer", lineno);
+      workload::LayerSpec spec;
+      spec.params = read_value<std::uint64_t>(ls, "params", lineno);
+      spec.activation_bytes = read_value<double>(ls, "act", lineno);
+      spec.fwd_flops = read_value<double>(ls, "fwd", lineno);
+      spec.bwd_flops = read_value<double>(ls, "bwd", lineno);
+      spec.name = read_name_tail(ls, lineno);
+      j.model.layers.push_back(std::move(spec));
+    }
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> parse_arrival_trace(const std::string& text) {
+  std::istringstream in(text);
+  return parse_arrival_trace(in);
+}
+
+// ---------------------------------------------------------------------------
+// TraceFileArrivalReader
+// ---------------------------------------------------------------------------
+
+TraceFileArrivalReader::TraceFileArrivalReader(const std::string& path)
+    : path_(path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open arrival trace: " + path);
+  }
+  arrivals_ = parse_arrival_trace(in);
+}
+
+std::optional<Arrival> TraceFileArrivalReader::next() {
+  if (index_ >= arrivals_.size()) return std::nullopt;
+  return arrivals_[index_++];
+}
+
+void TraceFileArrivalReader::seek(std::size_t index) {
+  if (index > arrivals_.size()) {
+    throw std::invalid_argument(
+        "TraceFileArrivalReader::seek past end of trace");
+  }
+  index_ = index;
+}
+
+std::vector<Arrival> drain(ArrivalGenerator& gen) {
+  std::vector<Arrival> out;
+  while (auto a = gen.next()) out.push_back(std::move(*a));
+  return out;
+}
+
+}  // namespace echelon::service

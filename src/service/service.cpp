@@ -1,0 +1,416 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/pool.hpp"
+#include "common/timer.hpp"
+#include "echelon/coflow_madd.hpp"
+#include "echelon/sincronia.hpp"
+#include "echelon/srpt.hpp"
+#include "workload/paradigm.hpp"
+
+namespace echelon::service {
+
+namespace {
+
+topology::BuiltFabric make_fabric(const ServiceConfig& config) {
+  if (config.hosts < 2) {
+    throw std::invalid_argument("ServiceLoop: hosts must be >= 2");
+  }
+  if (config.fabric == cluster::FabricKind::kBigSwitch) {
+    return topology::make_big_switch(config.hosts, config.port_capacity);
+  }
+  // Same shape as run_experiment: hosts/8 leaves of 8 hosts, 2 spines,
+  // uplinks carrying 8 * port_capacity / (2 * oversubscription) each.
+  const int hosts_per_leaf = 8;
+  const int leaves = std::max(1, config.hosts / hosts_per_leaf);
+  const int spines = 2;
+  return topology::make_leaf_spine(
+      {.leaves = leaves,
+       .spines = spines,
+       .hosts_per_leaf = hosts_per_leaf,
+       .host_link = config.port_capacity,
+       .uplink = hosts_per_leaf * config.port_capacity /
+                 (spines * config.oversubscription)});
+}
+
+}  // namespace
+
+ServiceLoop::ServiceLoop(const ServiceConfig& config)
+    : ServiceLoop(config, std::nullopt) {}
+
+ServiceLoop::ServiceLoop(const ServiceConfig& config,
+                         std::optional<faultsim::FaultPlan> owned_plan)
+    : config_(config),
+      owned_plan_(std::move(owned_plan)),
+      fabric_(make_fabric(config_)),
+      sim_(&fabric_.topo, config_.loop_mode, config_.alloc_mode,
+           config_.fill_mode) {
+  if (config_.control_period <= 0.0) {
+    throw std::invalid_argument("ServiceLoop: control_period must be > 0");
+  }
+  if (owned_plan_.has_value()) config_.fault_plan = &*owned_plan_;
+  build_stack();
+}
+
+ServiceLoop::~ServiceLoop() = default;
+
+void ServiceLoop::build_stack() {
+  // Scheduler stack, mirroring run_experiment: the coordinator owns its
+  // registry; every other scheduler shares the standalone one (attached for
+  // tardiness measurement either way).
+  registry_ = &standalone_registry_;
+  switch (config_.scheduler) {
+    case cluster::SchedulerKind::kFairSharing:
+      policy_ = std::make_unique<netsim::FairSharingScheduler>();
+      standalone_registry_.attach(sim_);
+      break;
+    case cluster::SchedulerKind::kSrpt:
+      policy_ = std::make_unique<ef::SrptScheduler>();
+      standalone_registry_.attach(sim_);
+      break;
+    case cluster::SchedulerKind::kCoflowMadd:
+      policy_ = std::make_unique<ef::CoflowMaddScheduler>(
+          ef::CoflowMaddConfig{.work_conserving =
+                                   config_.coflow_work_conserving});
+      standalone_registry_.attach(sim_);
+      break;
+    case cluster::SchedulerKind::kSincronia:
+      policy_ = std::make_unique<ef::SincroniaScheduler>();
+      standalone_registry_.attach(sim_);
+      break;
+    case cluster::SchedulerKind::kEchelonMadd:
+      policy_ = std::make_unique<ef::EchelonMaddScheduler>(
+          &standalone_registry_, ef::EchelonMaddConfig{});
+      standalone_registry_.attach(sim_);
+      break;
+    case cluster::SchedulerKind::kCoordinator:
+      coordinator_ = std::make_unique<runtime::Coordinator>(
+          &sim_, runtime::CoordinatorConfig{});
+      registry_ = &coordinator_->registry();
+      break;
+  }
+
+  scheduler_ = coordinator_
+                   ? static_cast<netsim::NetworkScheduler*>(coordinator_.get())
+                   : policy_.get();
+  if (config_.priority_queues > 0) {
+    pq_ = std::make_unique<runtime::PriorityQueueEnforcer>(
+        scheduler_, runtime::PriorityQueueConfig{
+                        .num_queues = config_.priority_queues});
+    scheduler_ = pq_.get();
+  }
+  scheduler_->set_sched_mode(config_.sched_mode);
+  sim_.set_scheduler(scheduler_);
+
+  if (config_.threads != 1) {
+    sim_.set_parallelism(&ThreadPool::shared(), config_.threads);
+    if (auto* madd = dynamic_cast<ef::EchelonMaddScheduler*>(policy_.get())) {
+      madd->set_parallelism(&ThreadPool::shared(), config_.threads);
+    }
+  }
+
+  attach_observability(config_.trace_sink, config_.trace_detail,
+                       config_.metrics);
+
+  // Fault injection armed before any launch, preserving run_experiment's
+  // fault-first same-instant tie-break.
+  if (config_.fault_plan != nullptr) {
+    injector_ = std::make_unique<faultsim::FaultInjector>(
+        &sim_, &fabric_.topo, config_.fault_plan);
+    if (config_.trace_sink != nullptr &&
+        config_.trace_detail >= obs::TraceDetail::kCoarse) {
+      injector_->set_trace(config_.trace_sink);
+    }
+    injector_->arm();
+  }
+}
+
+void ServiceLoop::attach_observability(obs::TraceSink* sink,
+                                       obs::TraceDetail detail,
+                                       obs::MetricsRegistry* metrics) {
+  config_.trace_sink = sink;
+  config_.trace_detail = detail;
+  config_.metrics = metrics;
+  if (sink != nullptr && detail != obs::TraceDetail::kOff) {
+    sim_.set_trace(sink, detail);
+    if (coordinator_ && detail >= obs::TraceDetail::kCoarse) {
+      coordinator_->set_trace(sink);
+    }
+    if (injector_ && detail >= obs::TraceDetail::kCoarse) {
+      injector_->set_trace(sink);
+    }
+  }
+  if (metrics != nullptr) sim_.set_metrics(metrics);
+}
+
+void ServiceLoop::set_generator(std::unique_ptr<ArrivalGenerator> gen) {
+  gen_ = std::move(gen);
+}
+
+void ServiceLoop::refill_pending() {
+  if (pending_.has_value() || gen_ == nullptr) return;
+  pending_ = gen_->next();
+  if (pending_.has_value() && pending_->at < last_arrival_at_) {
+    throw std::logic_error(
+        "ServiceLoop: arrival stream is not time-monotone (arrival at " +
+        std::to_string(pending_->at) + " after " +
+        std::to_string(last_arrival_at_) + ")");
+  }
+}
+
+bool ServiceLoop::step() {
+  refill_pending();
+  const bool work_left = running_ > 0 || !wait_queue_.empty();
+  if (!pending_.has_value() && !work_left) return false;
+
+  const ScopedTimer wall;
+  // Control ticks sit at fixed multiples of the period (multiplication, not
+  // accumulation: k * p is one rounding, so the tick grid is identical in
+  // every run regardless of where snapshots cut the sequence).
+  const SimTime tick_at =
+      config_.control_period * static_cast<double>(tick_index_ + 1);
+  if (pending_.has_value() && (!work_left || !(tick_at < pending_->at))) {
+    const SimTime at = pending_->at;
+    sim_.run(at);
+    handle_arrivals_at(at);
+    if (!work_left) {
+      // The jump skipped an idle gap; realign the tick grid so the next
+      // tick is the first multiple of the period not yet reached.
+      const auto caught_up = static_cast<std::uint64_t>(
+          std::floor(sim_.now() / config_.control_period));
+      tick_index_ = std::max(tick_index_, caught_up);
+    }
+  } else {
+    sim_.run(tick_at);
+    ++tick_index_;
+    ++control_ticks_;
+    sim_.invalidate_allocation();
+  }
+  ++steps_;
+  wall_ms_ += wall.elapsed_ms();
+  return true;
+}
+
+void ServiceLoop::handle_arrivals_at(SimTime at) {
+  // Consume every arrival landing at exactly this instant, in stream order.
+  // Bitwise time equality is deliberate: the burst generator reuses the
+  // previous arrival's double, and distinct-but-epsilon-close instants must
+  // remain distinct boundaries (they are distinct event times).
+  while (pending_.has_value() && pending_->at == at) {
+    Arrival arrival = std::move(*pending_);
+    pending_.reset();
+    if (arrival.at < sim_.now()) {
+      throw std::logic_error("ServiceLoop: arrival at " +
+                             std::to_string(arrival.at) +
+                             " is in the simulator's past (now " +
+                             std::to_string(sim_.now()) + ")");
+    }
+    last_arrival_at_ = arrival.at;
+    admit(std::move(arrival));
+    refill_pending();
+  }
+}
+
+void ServiceLoop::admit(Arrival arrival) {
+  const AdmissionOutcome outcome =
+      decide(config_.admission, running_, wait_queue_.size(),
+             registry_->total_tardiness());
+  if (replay_expected_ != nullptr) {
+    const std::size_t i = journal_.size();
+    if (i >= replay_expected_->size() ||
+        (*replay_expected_)[i].outcome != outcome) {
+      throw std::runtime_error(
+          "snapshot replay diverged: arrival " + std::to_string(i) +
+          " decided '" + to_string(outcome) + "' but the journal recorded '" +
+          (i < replay_expected_->size()
+               ? to_string((*replay_expected_)[i].outcome)
+               : "<past end>") +
+          "' (configuration or code mismatch)");
+    }
+  }
+  journal_.push_back(JournalEntry{outcome, arrival});
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      ++admitted_;
+      launch_job(arrival.job, arrival.at, arrival.at);
+      break;
+    case AdmissionOutcome::kQueued:
+      ++queued_total_;
+      wait_queue_.push_back(std::move(arrival));
+      break;
+    case AdmissionOutcome::kRejected:
+      ++rejected_;
+      break;
+  }
+}
+
+void ServiceLoop::launch_job(const cluster::JobSpec& spec, SimTime submitted,
+                             SimTime start) {
+  const std::size_t index = jobs_.size();
+  const std::size_t H = fabric_.hosts.size();
+  if (static_cast<std::size_t>(spec.ranks) > H) {
+    throw std::invalid_argument("ServiceLoop: job needs " +
+                                std::to_string(spec.ranks) + " ranks but the "
+                                "fabric has " + std::to_string(H) + " hosts");
+  }
+
+  auto lj = std::make_unique<LiveJob>();
+  lj->spec = spec;
+  lj->submitted = submitted;
+  lj->record.paradigm = spec.paradigm;
+  lj->record.submitted = submitted;
+  lj->record.started = start;
+
+  // run_experiment's rank packing, applied in launch order: consecutive
+  // ports from a wrapping cursor, DP-PS gets one extra port for its
+  // parameter server.
+  std::vector<NodeId> job_hosts;
+  job_hosts.reserve(static_cast<std::size_t>(spec.ranks));
+  for (int r = 0; r < spec.ranks; ++r) {
+    job_hosts.push_back(fabric_.hosts[(next_host_ + r) % H]);
+  }
+  const workload::Placement placement = workload::make_placement(
+      sim_, job_hosts, "j" + std::to_string(index) + ".");
+
+  NodeId ps_host;
+  WorkerId ps_worker;
+  std::size_t consumed = static_cast<std::size_t>(spec.ranks);
+  if (spec.paradigm == workload::Paradigm::kDpPs) {
+    ps_host = fabric_.hosts[(next_host_ + consumed) % H];
+    ps_worker =
+        sim_.add_worker(ps_host, "j" + std::to_string(index) + ".ps");
+    ++consumed;
+  }
+  next_host_ = (next_host_ + consumed) % H;
+
+  lj->generated = cluster::generate_job_workflow(
+      spec, placement, ps_host, ps_worker, *registry_, JobId{index});
+  lj->engine = std::make_unique<netsim::WorkflowEngine>(
+      &sim_, &lj->generated.workflow);
+  lj->engine->on_complete = [this, index](netsim::Simulator&) {
+    job_finished(index);
+  };
+
+  // Same-instant ordering contract (ISSUE 9 satellite): a launch scheduled
+  // after another must land strictly later in the event queue's sequence
+  // space -- pop_due's tie-break then replays same-instant releases in
+  // submission order. A violation means something scheduled out of band.
+  const std::uint64_t seq_before = sim_.events().scheduled_seq();
+  assert(seq_before >= last_launch_seq_ &&
+         "launch sequence floor moved backwards");
+  if (seq_before < last_launch_seq_) {
+    throw std::logic_error(
+        "ServiceLoop: launch would schedule below the previous launch's "
+        "sequence floor, breaking the same-instant submission-order "
+        "tie-break");
+  }
+  lj->engine->launch(start);
+  last_launch_seq_ = std::max(last_launch_seq_, sim_.events().scheduled_seq());
+
+  jobs_.push_back(std::move(lj));
+  ++running_;
+}
+
+void ServiceLoop::job_finished(std::size_t index) {
+  LiveJob& lj = *jobs_[index];
+  lj.record.finish = sim_.now();
+  lj.record.finished = true;
+  assert(running_ > 0);
+  --running_;
+  ++completed_;
+  // Backfill freed slots from the wait queue, oldest first, launching at
+  // the completion instant. This runs inside sim_.run() (the engine's
+  // on_complete fires from the event loop), so the released root nodes join
+  // the very next batch at this instant -- deterministically ordered by
+  // their schedule sequence.
+  while (!wait_queue_.empty() &&
+         (config_.admission.max_running == 0 ||
+          running_ < config_.admission.max_running)) {
+    Arrival next = std::move(wait_queue_.front());
+    wait_queue_.pop_front();
+    launch_job(next.job, next.at, sim_.now());
+  }
+}
+
+SimTime ServiceLoop::drain() {
+  while (step()) {
+  }
+  // Leftover events past the last completion: fault-plan timers, parked
+  // retries, etc. Runs to quiescence.
+  const ScopedTimer wall;
+  const SimTime end = sim_.run();
+  wall_ms_ += wall.elapsed_ms();
+  return end;
+}
+
+ServiceResult ServiceLoop::result() const {
+  ServiceResult r;
+  r.scheduler_name = scheduler_->name();
+  r.end = sim_.now();
+  r.total_tardiness = registry_->total_tardiness();
+  r.weighted_total_tardiness = registry_->weighted_total_tardiness();
+  r.control_invocations = sim_.control_invocations();
+  r.arrivals = journal_.size();
+  r.admitted = admitted_;
+  r.queued = queued_total_;
+  r.rejected = rejected_;
+  r.launched = jobs_.size();
+  r.completed = completed_;
+  r.steps = steps_;
+  r.control_ticks = control_ticks_;
+  r.wall_ms = wall_ms_;
+  r.flow_finish.reserve(sim_.flow_count());
+  for (std::size_t i = 0; i < sim_.flow_count(); ++i) {
+    r.flow_finish.push_back(sim_.flow(FlowId{i}).finish_time);
+  }
+  r.jobs.reserve(jobs_.size());
+  for (const auto& lj : jobs_) r.jobs.push_back(lj->record);
+  return r;
+}
+
+void ServiceLoop::publish_metrics() const {
+  if (config_.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *config_.metrics;
+  m.counter("service.arrivals").set(journal_.size());
+  m.counter("service.admitted").set(admitted_);
+  m.counter("service.queued").set(queued_total_);
+  m.counter("service.rejected").set(rejected_);
+  m.counter("service.launched").set(jobs_.size());
+  m.counter("service.completed").set(completed_);
+  m.counter("service.steps").set(steps_);
+  m.counter("service.control_ticks").set(control_ticks_);
+  m.gauge("service.queue_depth").set(static_cast<double>(wait_queue_.size()));
+  m.gauge("service.running").set(static_cast<double>(running_));
+  m.gauge("service.admission_rate")
+      .set(journal_.empty() ? 1.0
+                            : static_cast<double>(admitted_) /
+                                  static_cast<double>(journal_.size()));
+  // Control decisions per host-side second of service-loop work.
+  m.gauge("service.decisions_per_sec")
+      .set(wall_ms_ <= 0.0 ? 0.0
+                           : static_cast<double>(sim_.control_invocations()) /
+                                 (wall_ms_ / 1e3));
+  m.gauge("echelon.total_tardiness_s").set(registry_->total_tardiness());
+  obs::Histogram& tard = m.histogram("service.tardiness_s");
+  for (const ef::EchelonFlow* g : registry_->all()) {
+    if (g->complete()) tard.observe(g->tardiness());
+  }
+}
+
+void ServiceLoop::begin_replay(const std::vector<JournalEntry>& expected) {
+  replay_expected_ = &expected;
+}
+
+void ServiceLoop::end_replay(std::unique_ptr<ArrivalGenerator> gen,
+                             std::optional<Arrival> pending) {
+  replay_expected_ = nullptr;
+  gen_ = std::move(gen);
+  pending_ = std::move(pending);
+}
+
+}  // namespace echelon::service

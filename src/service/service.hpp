@@ -1,0 +1,268 @@
+// Long-running scheduler daemon over the batch simulator (DESIGN.md §13).
+//
+// ServiceLoop turns run_experiment's one-shot pipeline into a streaming
+// control loop: job arrivals are pulled from an ArrivalGenerator, pushed
+// through pluggable admission control (admission.hpp), placed and launched
+// incrementally (the exact rank-packing of run_experiment, applied in
+// launch order), and interleaved with periodic control ticks that force a
+// scheduler pass. The loop is *pull-driven*: every run of the simulator
+// stops at a deterministic boundary -- the next arrival instant or the next
+// control tick t_k = k * control_period -- so two ServiceLoops fed the same
+// configuration and arrival stream execute the identical event history and
+// produce bit-identical results and trace streams. That is the invariant
+// the snapshot/restore layer (snapshot.hpp) is built on: a restored loop
+// replays its arrival journal through this same step loop and must land on
+// a bitwise-equal simulator state.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "cluster/job.hpp"
+#include "common/units.hpp"
+#include "faultsim/fault_plan.hpp"
+#include "faultsim/injector.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/workflow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/coordinator.hpp"
+#include "runtime/priority_queue.hpp"
+#include "service/admission.hpp"
+#include "service/arrivals.hpp"
+#include "topology/builders.hpp"
+
+namespace echelon::service {
+
+struct ServiceConfig {
+  cluster::SchedulerKind scheduler = cluster::SchedulerKind::kEchelonMadd;
+  cluster::FabricKind fabric = cluster::FabricKind::kBigSwitch;
+  int hosts = 16;
+  BytesPerSec port_capacity = gbps(25);
+  double oversubscription = 1.0;  // leaf-spine only
+  bool coflow_work_conserving = true;
+  int priority_queues = 0;
+  netsim::SimLoopMode loop_mode = netsim::SimLoopMode::kLazy;
+  netsim::AllocMode alloc_mode = netsim::AllocMode::kIncremental;
+  netsim::FillMode fill_mode = netsim::FillMode::kClass;
+  netsim::SchedMode sched_mode = netsim::SchedMode::kIncremental;
+  unsigned threads = 1;
+
+  // Interval between forced control passes while work is outstanding.
+  Duration control_period = 0.01;
+  AdmissionConfig admission;
+
+  // Optional deterministic fault script; must outlive the loop (snapshot
+  // restore hands ownership of the reparsed plan to the loop instead).
+  const faultsim::FaultPlan* fault_plan = nullptr;
+
+  // Observability (read-only emitters; never affect results).
+  obs::TraceSink* trace_sink = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// One consumed arrival plus the admission decision made for it. The journal
+// of these is the durable half of a snapshot: replaying it through the step
+// loop reconstructs all service and simulator state.
+struct JournalEntry {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  Arrival arrival;
+};
+
+struct ServiceJobRecord {
+  workload::Paradigm paradigm = workload::Paradigm::kDpAllReduce;
+  SimTime submitted = 0.0;  // arrival instant (admission time)
+  SimTime started = 0.0;    // launch instant (== submitted unless queued)
+  SimTime finish = 0.0;     // workflow completion; 0 while running
+  bool finished = false;
+};
+
+struct ServiceResult {
+  std::string scheduler_name;
+  SimTime end = 0.0;
+  Duration total_tardiness = 0.0;
+  Duration weighted_total_tardiness = 0.0;
+  std::uint64_t control_invocations = 0;
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t launched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t control_ticks = 0;
+  double wall_ms = 0.0;
+
+  // Bitwise-comparable behavioural signature: every flow's completion time
+  // in FlowId order, plus the per-job lifecycle records in launch order.
+  std::vector<SimTime> flow_finish;
+  std::vector<ServiceJobRecord> jobs;
+};
+
+class ServiceLoop {
+ public:
+  explicit ServiceLoop(const ServiceConfig& config);
+  // Variant for restored snapshots: the loop owns the reparsed fault plan.
+  ServiceLoop(const ServiceConfig& config,
+              std::optional<faultsim::FaultPlan> owned_plan);
+  ~ServiceLoop();
+
+  ServiceLoop(const ServiceLoop&) = delete;
+  ServiceLoop& operator=(const ServiceLoop&) = delete;
+
+  void set_generator(std::unique_ptr<ArrivalGenerator> gen);
+
+  // Advances to the next boundary (arrival instant or control tick) and
+  // processes it. Returns false -- without advancing -- once the arrival
+  // stream is exhausted and no admitted or queued work remains. Throws
+  // std::logic_error if the generator emits a time-non-monotone arrival or
+  // one in the simulator's past (the same-instant ordering contract).
+  bool step();
+
+  // Runs the loop to completion: steps until idle, then drains any leftover
+  // events (fault-plan timers past the last completion). Returns the final
+  // simulation time.
+  SimTime drain();
+
+  [[nodiscard]] ServiceResult result() const;
+
+  // Publishes steady-state service metrics into the registry configured at
+  // construction (no-op without one): counters service.*, queue-depth
+  // gauge, decisions/sec and admission-rate gauges, per-group tardiness
+  // histogram. Callable at any boundary.
+  void publish_metrics() const;
+
+  // --- snapshot surface (snapshot.cpp) ---
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<JournalEntry>& journal() const noexcept {
+    return journal_;
+  }
+  [[nodiscard]] const ArrivalGenerator* generator() const noexcept {
+    return gen_.get();
+  }
+  [[nodiscard]] const std::optional<Arrival>& pending_arrival()
+      const noexcept {
+    return pending_;
+  }
+  [[nodiscard]] const netsim::Simulator& sim() const noexcept { return sim_; }
+  [[nodiscard]] netsim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const ef::Registry& registry() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const netsim::NetworkScheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+  [[nodiscard]] const faultsim::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  [[nodiscard]] std::uint64_t steps_executed() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::uint64_t tick_index() const noexcept {
+    return tick_index_;
+  }
+  [[nodiscard]] std::uint64_t running() const noexcept { return running_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return wait_queue_.size();
+  }
+  [[nodiscard]] std::uint64_t launched() const noexcept {
+    return jobs_.size();
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t admitted_count() const noexcept {
+    return admitted_;
+  }
+  [[nodiscard]] std::uint64_t queued_count() const noexcept {
+    return queued_total_;
+  }
+  [[nodiscard]] std::uint64_t rejected_count() const noexcept {
+    return rejected_;
+  }
+  [[nodiscard]] std::uint64_t control_ticks() const noexcept {
+    return control_ticks_;
+  }
+  [[nodiscard]] std::size_t next_host_cursor() const noexcept {
+    return next_host_;
+  }
+  [[nodiscard]] std::uint64_t last_launch_seq() const noexcept {
+    return last_launch_seq_;
+  }
+  [[nodiscard]] SimTime last_arrival_at() const noexcept {
+    return last_arrival_at_;
+  }
+
+  // Restore plumbing (snapshot.cpp only): journal replay with outcome
+  // cross-checking, then reattachment of the live generator + observability.
+  void begin_replay(const std::vector<JournalEntry>& expected);
+  void end_replay(std::unique_ptr<ArrivalGenerator> gen,
+                  std::optional<Arrival> pending);
+  void attach_observability(obs::TraceSink* sink, obs::TraceDetail detail,
+                            obs::MetricsRegistry* metrics);
+
+ private:
+  struct LiveJob {
+    cluster::JobSpec spec;
+    SimTime submitted = 0.0;
+    workload::GeneratedJob generated;
+    std::unique_ptr<netsim::WorkflowEngine> engine;
+    ServiceJobRecord record;
+  };
+
+  void build_stack();
+  void refill_pending();
+  void handle_arrivals_at(SimTime at);
+  void admit(Arrival arrival);
+  void launch_job(const cluster::JobSpec& spec, SimTime submitted,
+                  SimTime start);
+  void job_finished(std::size_t index);
+
+  ServiceConfig config_;
+  std::optional<faultsim::FaultPlan> owned_plan_;
+  topology::BuiltFabric fabric_;
+  netsim::Simulator sim_;
+
+  ef::Registry standalone_registry_;
+  std::unique_ptr<runtime::Coordinator> coordinator_;
+  std::unique_ptr<netsim::NetworkScheduler> policy_;
+  std::unique_ptr<runtime::PriorityQueueEnforcer> pq_;
+  ef::Registry* registry_ = nullptr;
+  netsim::NetworkScheduler* scheduler_ = nullptr;
+  std::unique_ptr<faultsim::FaultInjector> injector_;
+
+  std::unique_ptr<ArrivalGenerator> gen_;
+  std::optional<Arrival> pending_;
+  std::vector<JournalEntry> journal_;
+  std::deque<Arrival> wait_queue_;
+  std::vector<std::unique_ptr<LiveJob>> jobs_;  // stable addresses (engines
+                                                // point into their workflow)
+
+  std::size_t next_host_ = 0;
+  std::uint64_t running_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t queued_total_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t tick_index_ = 0;
+  std::uint64_t control_ticks_ = 0;
+  // Same-instant submission-order guard (ISSUE 9 satellite): the event-queue
+  // sequence floor of the most recent launch; a later launch scheduling
+  // below it would break the pop_due tie-break contract.
+  std::uint64_t last_launch_seq_ = 0;
+  SimTime last_arrival_at_ = -kTimeInfinity;
+  double wall_ms_ = 0.0;
+
+  const std::vector<JournalEntry>* replay_expected_ = nullptr;
+};
+
+}  // namespace echelon::service

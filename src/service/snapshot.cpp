@@ -1,0 +1,877 @@
+#include "service/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "faultsim/fault_plan.hpp"
+#include "workload/model.hpp"
+
+namespace echelon::service {
+
+namespace {
+
+// Section tags, in required stream order.
+enum : std::uint32_t {
+  kConfigTag = 1,
+  kArrivalsTag = 2,
+  kGeneratorTag = 3,
+  kServiceTag = 4,
+  kVerifyTag = 5,
+  kEndTag = 0xFFFFFFFFu,
+};
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(const char* data, std::size_t n,
+                    std::uint64_t h = kFnvOffset) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t f64_bits(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_f64(std::uint64_t bits) noexcept {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian buffer writer / bounds-checked reader
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void f64(double v) { u64(f64_bits(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void raw(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size, std::string where)
+      : data_(data), size_(size), where_(std::move(where)) {}
+
+  [[nodiscard]] std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] double f64(const char* what) { return bits_f64(u64(what)); }
+  [[nodiscard]] std::string str(const char* what) {
+    const std::uint64_t n = u64(what);
+    if (n > remaining()) {
+      throw SnapshotError("snapshot: " + where_ + ": string length " +
+                          std::to_string(n) + " for " + what +
+                          " exceeds the " + std::to_string(remaining()) +
+                          " bytes left at offset " + std::to_string(pos_));
+    }
+    std::string s(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  void expect_exhausted(const char* what) const {
+    if (pos_ != size_) {
+      throw SnapshotError("snapshot: " + where_ + ": " +
+                          std::to_string(size_ - pos_) +
+                          " trailing bytes after " + what);
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (size_ - pos_ < n) {
+      throw SnapshotError("snapshot: " + where_ + ": truncated reading " +
+                          what + " at offset " + std::to_string(pos_) +
+                          " (need " + std::to_string(n) + ", have " +
+                          std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string where_;
+};
+
+// ---------------------------------------------------------------------------
+// JobSpec / TraceConfig / Arrival payloads
+// ---------------------------------------------------------------------------
+
+void put_gpu(Writer& w, const workload::GpuSpec& g) {
+  w.str(g.name);
+  w.f64(g.peak_flops);
+  w.f64(g.efficiency);
+}
+
+workload::GpuSpec get_gpu(Reader& r) {
+  workload::GpuSpec g;
+  g.name = r.str("gpu.name");
+  g.peak_flops = r.f64("gpu.peak_flops");
+  g.efficiency = r.f64("gpu.efficiency");
+  return g;
+}
+
+void put_jobspec(Writer& w, const cluster::JobSpec& j) {
+  w.u32(static_cast<std::uint32_t>(j.paradigm));
+  w.u32(static_cast<std::uint32_t>(j.ranks));
+  w.u32(static_cast<std::uint32_t>(j.iterations));
+  w.u32(static_cast<std::uint32_t>(j.buckets));
+  w.u32(static_cast<std::uint32_t>(j.micro_batches));
+  w.u32(static_cast<std::uint32_t>(j.pp_schedule));
+  w.f64(j.compute_jitter);
+  w.u64(j.jitter_seed);
+  w.f64(j.arrival);
+  put_gpu(w, j.gpu);
+  w.str(j.model.name);
+  w.f64(j.model.bytes_per_element);
+  w.u64(j.model.layers.size());
+  for (const workload::LayerSpec& l : j.model.layers) {
+    w.str(l.name);
+    w.u64(l.params);
+    w.f64(l.activation_bytes);
+    w.f64(l.fwd_flops);
+    w.f64(l.bwd_flops);
+  }
+}
+
+cluster::JobSpec get_jobspec(Reader& r) {
+  cluster::JobSpec j;
+  const std::uint32_t paradigm = r.u32("job.paradigm");
+  if (paradigm > static_cast<std::uint32_t>(workload::Paradigm::kExpert)) {
+    throw SnapshotError("snapshot: job.paradigm " + std::to_string(paradigm) +
+                        " is out of range");
+  }
+  j.paradigm = static_cast<workload::Paradigm>(paradigm);
+  j.ranks = static_cast<int>(r.u32("job.ranks"));
+  j.iterations = static_cast<int>(r.u32("job.iterations"));
+  j.buckets = static_cast<int>(r.u32("job.buckets"));
+  j.micro_batches = static_cast<int>(r.u32("job.micro_batches"));
+  const std::uint32_t sched = r.u32("job.pp_schedule");
+  if (sched > static_cast<std::uint32_t>(
+                  workload::PipelineSchedule::kOneFOneB)) {
+    throw SnapshotError("snapshot: job.pp_schedule " + std::to_string(sched) +
+                        " is out of range");
+  }
+  j.pp_schedule = static_cast<workload::PipelineSchedule>(sched);
+  j.compute_jitter = r.f64("job.compute_jitter");
+  j.jitter_seed = r.u64("job.jitter_seed");
+  j.arrival = r.f64("job.arrival");
+  j.gpu = get_gpu(r);
+  j.model.name = r.str("model.name");
+  j.model.bytes_per_element = r.f64("model.bytes_per_element");
+  const std::uint64_t layers = r.u64("model.layer_count");
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    workload::LayerSpec spec;
+    spec.name = r.str("layer.name");
+    spec.params = r.u64("layer.params");
+    spec.activation_bytes = r.f64("layer.activation_bytes");
+    spec.fwd_flops = r.f64("layer.fwd_flops");
+    spec.bwd_flops = r.f64("layer.bwd_flops");
+    j.model.layers.push_back(std::move(spec));
+  }
+  return j;
+}
+
+void put_arrival(Writer& w, const Arrival& a) {
+  w.f64(a.at);
+  put_jobspec(w, a.job);
+}
+
+Arrival get_arrival(Reader& r) {
+  Arrival a;
+  a.at = r.f64("arrival.at");
+  a.job = get_jobspec(r);
+  return a;
+}
+
+void put_trace_config(Writer& w, const cluster::TraceConfig& c) {
+  w.u32(static_cast<std::uint32_t>(c.num_jobs));
+  w.f64(c.arrival_rate);
+  w.u64(c.seed);
+  w.u64(c.paradigm_weights.size());
+  for (const double x : c.paradigm_weights) w.f64(x);
+  w.u64(c.rank_choices.size());
+  for (const int x : c.rank_choices) w.u32(static_cast<std::uint32_t>(x));
+  w.u32(static_cast<std::uint32_t>(c.min_layers));
+  w.u32(static_cast<std::uint32_t>(c.max_layers));
+  w.u32(static_cast<std::uint32_t>(c.min_width));
+  w.u32(static_cast<std::uint32_t>(c.max_width));
+  w.u32(static_cast<std::uint32_t>(c.batch));
+  w.u32(static_cast<std::uint32_t>(c.iterations));
+  put_gpu(w, c.gpu);
+}
+
+cluster::TraceConfig get_trace_config(Reader& r) {
+  cluster::TraceConfig c;
+  c.num_jobs = static_cast<int>(r.u32("trace.num_jobs"));
+  c.arrival_rate = r.f64("trace.arrival_rate");
+  c.seed = r.u64("trace.seed");
+  const std::uint64_t weights = r.u64("trace.weight_count");
+  c.paradigm_weights.clear();
+  for (std::uint64_t i = 0; i < weights; ++i) {
+    c.paradigm_weights.push_back(r.f64("trace.weight"));
+  }
+  const std::uint64_t choices = r.u64("trace.rank_choice_count");
+  c.rank_choices.clear();
+  for (std::uint64_t i = 0; i < choices; ++i) {
+    c.rank_choices.push_back(static_cast<int>(r.u32("trace.rank_choice")));
+  }
+  c.min_layers = static_cast<int>(r.u32("trace.min_layers"));
+  c.max_layers = static_cast<int>(r.u32("trace.max_layers"));
+  c.min_width = static_cast<int>(r.u32("trace.min_width"));
+  c.max_width = static_cast<int>(r.u32("trace.max_width"));
+  c.batch = static_cast<int>(r.u32("trace.batch"));
+  c.iterations = static_cast<int>(r.u32("trace.iterations"));
+  c.gpu = get_gpu(r);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Verification image: named (field, bits) pairs
+// ---------------------------------------------------------------------------
+
+struct ImageBuilder {
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+
+  void add(std::string name, std::uint64_t bits) {
+    fields.emplace_back(std::move(name), bits);
+  }
+  void addf(std::string name, double v) { add(std::move(name), f64_bits(v)); }
+};
+
+void build_verify_image(const ServiceLoop& loop, ImageBuilder& img) {
+  const netsim::Simulator& sim = loop.sim();
+  img.addf("sim.now", sim.now());
+  img.addf("sim.epoch_time", sim.epoch_time());
+  img.add("sim.flow_count", sim.flow_count());
+  img.add("sim.active_flow_count", sim.active_flow_count());
+  img.add("sim.accounting_generation", sim.accounting_generation());
+  img.add("sim.control_invocations", sim.control_invocations());
+  img.add("sim.worker_count", sim.worker_count());
+
+  img.add("events.size", sim.events().size());
+  img.add("events.scheduled_seq", sim.events().scheduled_seq());
+  // Order-insensitive fold over pending (at, seq) keys: callbacks are
+  // opaque, but the pending key multiset pins the queue's future behaviour.
+  std::uint64_t qdigest = 0;
+  sim.events().for_each_pending([&](SimTime at, std::uint64_t seq) {
+    std::uint64_t h = kFnvOffset;
+    for (const std::uint64_t word : {f64_bits(at), seq}) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+      }
+    }
+    qdigest += h;
+  });
+  img.add("events.digest", qdigest);
+  img.add("completion_heap.digest", sim.completion_heap_digest());
+
+  const netsim::RateAllocator::Stats& as = sim.alloc_stats();
+  img.add("alloc.passes", as.passes);
+  img.add("alloc.components", as.components);
+  img.add("alloc.components_reused", as.components_reused);
+  img.add("alloc.components_filled", as.components_filled);
+  img.add("alloc.classes", as.classes);
+  img.add("alloc.class_members", as.class_members);
+
+  const netsim::SchedStats& ss = loop.scheduler().sched_stats();
+  img.add("sched.passes", ss.passes);
+  img.add("sched.full_passes", ss.full_passes);
+  img.add("sched.scoped_passes", ss.scoped_passes);
+  img.add("sched.pass_skips", ss.pass_skips);
+  img.add("sched.groups_seen", ss.groups_seen);
+  img.add("sched.groups_scheduled", ss.groups_scheduled);
+  img.add("sched.groups_reused", ss.groups_reused);
+
+  const topology::RouteTable::Stats& rs = sim.routes().stats();
+  img.add("routes.size", sim.routes().size());
+  img.add("routes.lookups", rs.lookups);
+  img.add("routes.hits", rs.hits);
+  img.add("routes.computations", rs.computations);
+  img.add("routes.unreachable", rs.unreachable);
+
+  img.add("registry.size", loop.registry().size());
+  img.addf("registry.total_tardiness", loop.registry().total_tardiness());
+  img.addf("registry.weighted_total_tardiness",
+           loop.registry().weighted_total_tardiness());
+
+  const faultsim::FaultInjector* inj = loop.injector();
+  img.add("fault.present", inj != nullptr ? 1 : 0);
+  if (inj != nullptr) {
+    const faultsim::FaultSummary& fs = inj->summary();
+    img.add("fault.events_fired", fs.events_fired);
+    img.add("fault.reroutes", fs.reroutes);
+    img.add("fault.parks", fs.parks);
+    img.add("fault.retries", fs.retries);
+    img.add("fault.resumes", fs.resumes);
+    img.add("fault.abandoned", fs.abandoned);
+    img.addf("fault.downtime", fs.downtime);
+  }
+
+  img.add("service.steps", loop.steps_executed());
+  img.add("service.tick_index", loop.tick_index());
+  img.add("service.control_ticks", loop.control_ticks());
+  img.add("service.running", loop.running());
+  img.add("service.completed", loop.completed());
+  img.add("service.admitted", loop.admitted_count());
+  img.add("service.queued", loop.queued_count());
+  img.add("service.rejected", loop.rejected_count());
+  img.add("service.queue_depth", loop.queue_depth());
+  img.add("service.launched", loop.launched());
+  img.add("service.next_host", loop.next_host_cursor());
+  img.add("service.last_launch_seq", loop.last_launch_seq());
+  img.addf("service.last_arrival_at", loop.last_arrival_at());
+
+  for (std::size_t i = 0; i < sim.flow_count(); ++i) {
+    const netsim::Flow& f = sim.flow(FlowId{i});
+    const std::string p = "flow[" + std::to_string(i) + "].";
+    img.add(p + "state", static_cast<std::uint64_t>(f.state));
+    img.add(p + "entered", f.entered ? 1 : 0);
+    img.addf(p + "remaining", f.remaining);
+    img.addf(p + "rate", f.rate);
+    img.addf(p + "start_time", f.start_time);
+    img.addf(p + "finish_time", f.finish_time);
+    img.addf(p + "weight", f.weight);
+    img.add(p + "has_rate_cap", f.rate_cap.has_value() ? 1 : 0);
+    img.addf(p + "rate_cap", f.rate_cap.value_or(-1.0));
+    img.add(p + "route",
+            f.route.valid() ? f.route.value() : ~std::uint64_t{0});
+    std::uint64_t pdigest = kFnvOffset;
+    for (const LinkId link : f.path) {
+      const std::uint64_t word = link.value();
+      for (int b = 0; b < 8; ++b) {
+        pdigest ^= (word >> (8 * b)) & 0xff;
+        pdigest *= kFnvPrime;
+      }
+    }
+    img.add(p + "path_len", f.path.size());
+    img.add(p + "path_digest", pdigest);
+  }
+}
+
+void put_image(Writer& w, const ImageBuilder& img) {
+  w.u64(img.fields.size());
+  for (const auto& [name, bits] : img.fields) {
+    w.str(name);
+    w.u64(bits);
+  }
+}
+
+// Compares the saved image against the restored loop's recomputed one.
+void verify_image(Reader& r, const ServiceLoop& loop) {
+  ImageBuilder fresh;
+  build_verify_image(loop, fresh);
+  const std::uint64_t saved_count = r.u64("verify.field_count");
+  if (saved_count != fresh.fields.size()) {
+    throw SnapshotError(
+        "snapshot verify: image has " + std::to_string(saved_count) +
+        " fields, restored state has " + std::to_string(fresh.fields.size()));
+  }
+  for (std::uint64_t i = 0; i < saved_count; ++i) {
+    const std::string name = r.str("verify.field_name");
+    const std::uint64_t bits = r.u64("verify.field_bits");
+    const auto& [fresh_name, fresh_bits] = fresh.fields[i];
+    if (name != fresh_name) {
+      throw SnapshotError("snapshot verify: field " + std::to_string(i) +
+                          " is '" + name + "' in the image but '" +
+                          fresh_name + "' in the restored state");
+    }
+    if (bits != fresh_bits) {
+      throw SnapshotError(
+          "snapshot verify: '" + name + "' mismatch: saved 0x" +
+          [](std::uint64_t v) {
+            std::ostringstream os;
+            os << std::hex << v;
+            return os.str();
+          }(bits) +
+          " restored 0x" +
+          [](std::uint64_t v) {
+            std::ostringstream os;
+            os << std::hex << v;
+            return os.str();
+          }(fresh_bits) +
+          " -- restored run diverged from the checkpointed one");
+    }
+  }
+  r.expect_exhausted("verify image");
+}
+
+// ---------------------------------------------------------------------------
+// Generator state
+// ---------------------------------------------------------------------------
+
+enum : std::uint8_t {
+  kGenNone = 0,
+  kGenPoisson = 1,
+  kGenTraceFile = 2,
+};
+
+void put_generator(Writer& w, const ServiceLoop& loop) {
+  const ArrivalGenerator* gen = loop.generator();
+  if (const auto* p = dynamic_cast<const PoissonArrivalGenerator*>(gen)) {
+    w.u8(kGenPoisson);
+    put_trace_config(w, p->config());
+    w.u32(static_cast<std::uint32_t>(p->burst_every()));
+    for (const std::uint64_t word : p->rng().state()) w.u64(word);
+    w.f64(p->clock());
+    w.u32(static_cast<std::uint32_t>(p->emitted()));
+  } else if (const auto* t =
+                 dynamic_cast<const TraceFileArrivalReader*>(gen)) {
+    w.u8(kGenTraceFile);
+    w.str(t->path());
+    w.u64(t->index());
+  } else {
+    // No generator, an exhausted external one, or a test-injected kind the
+    // snapshot cannot persist; restore resumes with no further arrivals.
+    w.u8(kGenNone);
+  }
+  const std::optional<Arrival>& pending = loop.pending_arrival();
+  w.u8(pending.has_value() ? 1 : 0);
+  if (pending.has_value()) put_arrival(w, *pending);
+}
+
+struct GeneratorState {
+  std::unique_ptr<ArrivalGenerator> gen;
+  std::optional<Arrival> pending;
+};
+
+GeneratorState get_generator(Reader& r) {
+  GeneratorState out;
+  const std::uint8_t kind = r.u8("generator.kind");
+  switch (kind) {
+    case kGenNone:
+      break;
+    case kGenPoisson: {
+      const cluster::TraceConfig cfg = get_trace_config(r);
+      const int burst = static_cast<int>(r.u32("generator.burst_every"));
+      std::array<std::uint64_t, 4> state{};
+      for (std::uint64_t& word : state) word = r.u64("generator.rng_word");
+      const double clock = r.f64("generator.clock");
+      const int emitted = static_cast<int>(r.u32("generator.emitted"));
+      auto gen = std::make_unique<PoissonArrivalGenerator>(cfg, burst);
+      gen->restore(state, clock, emitted);
+      out.gen = std::move(gen);
+      break;
+    }
+    case kGenTraceFile: {
+      const std::string path = r.str("generator.path");
+      const std::uint64_t index = r.u64("generator.index");
+      auto gen = std::make_unique<TraceFileArrivalReader>(path);
+      if (index > gen->size()) {
+        throw SnapshotError("snapshot: trace generator index " +
+                            std::to_string(index) + " exceeds the " +
+                            std::to_string(gen->size()) + " arrivals in " +
+                            path);
+      }
+      gen->seek(static_cast<std::size_t>(index));
+      out.gen = std::move(gen);
+      break;
+    }
+    default:
+      throw SnapshotError("snapshot: unknown generator kind " +
+                          std::to_string(kind));
+  }
+  if (r.u8("generator.has_pending") != 0) out.pending = get_arrival(r);
+  r.expect_exhausted("generator section");
+  return out;
+}
+
+// Journal replay source: yields the consumed arrivals back in order.
+class JournalReplayGenerator final : public ArrivalGenerator {
+ public:
+  explicit JournalReplayGenerator(std::vector<Arrival> arrivals)
+      : arrivals_(std::move(arrivals)) {}
+  std::optional<Arrival> next() override {
+    if (index_ >= arrivals_.size()) return std::nullopt;
+    return arrivals_[index_++];
+  }
+  const char* kind() const noexcept override { return "journal-replay"; }
+
+ private:
+  std::vector<Arrival> arrivals_;
+  std::size_t index_ = 0;
+};
+
+void put_section(Writer& w, std::uint32_t tag, const std::string& payload) {
+  w.u32(tag);
+  w.u64(payload.size());
+  w.raw(payload.data(), payload.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// save
+// ---------------------------------------------------------------------------
+
+std::string save_snapshot(const ServiceLoop& loop) {
+  Writer out;
+  out.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.u32(kSnapshotVersion);
+
+  {
+    Writer w;
+    const ServiceConfig& c = loop.config();
+    w.u32(static_cast<std::uint32_t>(c.scheduler));
+    w.u32(static_cast<std::uint32_t>(c.fabric));
+    w.u32(static_cast<std::uint32_t>(c.hosts));
+    w.f64(c.port_capacity);
+    w.f64(c.oversubscription);
+    w.u8(c.coflow_work_conserving ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(c.priority_queues));
+    w.u32(static_cast<std::uint32_t>(c.loop_mode));
+    w.u32(static_cast<std::uint32_t>(c.alloc_mode));
+    w.u32(static_cast<std::uint32_t>(c.fill_mode));
+    w.u32(static_cast<std::uint32_t>(c.sched_mode));
+    w.u32(c.threads);
+    w.f64(c.control_period);
+    w.u32(static_cast<std::uint32_t>(c.admission.policy));
+    w.u64(c.admission.max_running);
+    w.u64(c.admission.queue_cap);
+    w.f64(c.admission.tardiness_limit);
+    w.str(c.fault_plan != nullptr ? faultsim::serialize(*c.fault_plan)
+                                  : std::string{});
+    put_section(out, kConfigTag, w.take());
+  }
+  {
+    Writer w;
+    w.u64(loop.journal().size());
+    for (const JournalEntry& e : loop.journal()) {
+      w.u8(static_cast<std::uint8_t>(e.outcome));
+      put_arrival(w, e.arrival);
+    }
+    put_section(out, kArrivalsTag, w.take());
+  }
+  {
+    Writer w;
+    put_generator(w, loop);
+    put_section(out, kGeneratorTag, w.take());
+  }
+  {
+    Writer w;
+    w.u64(loop.steps_executed());
+    w.u64(loop.tick_index());
+    w.u64(loop.journal().size());
+    w.f64(loop.last_arrival_at());
+    w.f64(loop.sim().now());
+    put_section(out, kServiceTag, w.take());
+  }
+  {
+    Writer w;
+    ImageBuilder img;
+    build_verify_image(loop, img);
+    put_image(w, img);
+    put_section(out, kVerifyTag, w.take());
+  }
+
+  out.u32(kEndTag);
+  const std::uint64_t checksum =
+      fnv1a(out.buffer().data(), out.buffer().size());
+  out.u64(checksum);
+  return out.take();
+}
+
+void save_snapshot_file(const ServiceLoop& loop, const std::string& path) {
+  const std::string bytes = save_snapshot(loop);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError("snapshot: cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError("snapshot: short write to " + path);
+}
+
+// ---------------------------------------------------------------------------
+// restore
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ServiceLoop> restore_snapshot(const std::string& bytes,
+                                              const RestoreOptions& options) {
+  // Header and integrity first: nothing past this point sees unchecksummed
+  // bytes, so a flipped bit can never parse into a half-restored loop.
+  constexpr std::size_t kHeader = sizeof(kSnapshotMagic) + 4;
+  constexpr std::size_t kTrailer = 4 + 8;  // end tag + checksum
+  if (bytes.size() < kHeader + kTrailer) {
+    throw SnapshotError("snapshot: " + std::to_string(bytes.size()) +
+                        " bytes is too short to be a snapshot");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    throw SnapshotError("snapshot: bad magic (not an ECHSNAP1 snapshot)");
+  }
+  Reader header(bytes.data() + sizeof(kSnapshotMagic), 4, "header");
+  const std::uint32_t version = header.u32("version");
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot: unsupported version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+  {
+    Reader tail(bytes.data() + bytes.size() - 8, 8, "trailer");
+    const std::uint64_t recorded = tail.u64("checksum");
+    const std::uint64_t actual = fnv1a(bytes.data(), bytes.size() - 8);
+    if (recorded != actual) {
+      std::ostringstream os;
+      os << "snapshot: checksum mismatch (recorded 0x" << std::hex << recorded
+         << ", computed 0x" << actual << ") -- corrupt or truncated";
+      throw SnapshotError(os.str());
+    }
+  }
+
+  Reader r(bytes.data() + kHeader, bytes.size() - kHeader - 8, "body");
+  auto open_section = [&r](std::uint32_t want,
+                           const char* name) -> std::string {
+    const std::uint32_t tag = r.u32("section tag");
+    if (tag != want) {
+      throw SnapshotError("snapshot: expected section " + std::string(name) +
+                          " (tag " + std::to_string(want) + "), found tag " +
+                          std::to_string(tag));
+    }
+    const std::uint64_t len = r.u64("section length");
+    if (len > r.remaining()) {
+      throw SnapshotError("snapshot: section " + std::string(name) +
+                          " claims " + std::to_string(len) +
+                          " bytes but only " + std::to_string(r.remaining()) +
+                          " remain");
+    }
+    std::string payload;
+    for (std::uint64_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(r.u8("section payload")));
+    }
+    return payload;
+  };
+
+  // kConfig
+  ServiceConfig config;
+  std::optional<faultsim::FaultPlan> plan;
+  {
+    const std::string payload = open_section(kConfigTag, "config");
+    Reader c(payload.data(), payload.size(), "config");
+    const std::uint32_t sched = c.u32("config.scheduler");
+    if (sched >
+        static_cast<std::uint32_t>(cluster::SchedulerKind::kCoordinator)) {
+      throw SnapshotError("snapshot: config.scheduler " +
+                          std::to_string(sched) + " is out of range");
+    }
+    config.scheduler = static_cast<cluster::SchedulerKind>(sched);
+    const std::uint32_t fabric = c.u32("config.fabric");
+    if (fabric > static_cast<std::uint32_t>(cluster::FabricKind::kLeafSpine)) {
+      throw SnapshotError("snapshot: config.fabric " +
+                          std::to_string(fabric) + " is out of range");
+    }
+    config.fabric = static_cast<cluster::FabricKind>(fabric);
+    config.hosts = static_cast<int>(c.u32("config.hosts"));
+    config.port_capacity = c.f64("config.port_capacity");
+    config.oversubscription = c.f64("config.oversubscription");
+    config.coflow_work_conserving = c.u8("config.coflow_work_conserving") != 0;
+    config.priority_queues = static_cast<int>(c.u32("config.priority_queues"));
+    const std::uint32_t loop_mode = c.u32("config.loop_mode");
+    if (loop_mode > static_cast<std::uint32_t>(
+                        netsim::SimLoopMode::kEagerScan)) {
+      throw SnapshotError("snapshot: config.loop_mode is out of range");
+    }
+    config.loop_mode = static_cast<netsim::SimLoopMode>(loop_mode);
+    const std::uint32_t alloc = c.u32("config.alloc_mode");
+    if (alloc >
+        static_cast<std::uint32_t>(netsim::AllocMode::kIncremental)) {
+      throw SnapshotError("snapshot: config.alloc_mode is out of range");
+    }
+    config.alloc_mode = static_cast<netsim::AllocMode>(alloc);
+    const std::uint32_t fill = c.u32("config.fill_mode");
+    if (fill > static_cast<std::uint32_t>(netsim::FillMode::kClass)) {
+      throw SnapshotError("snapshot: config.fill_mode is out of range");
+    }
+    config.fill_mode = static_cast<netsim::FillMode>(fill);
+    const std::uint32_t smode = c.u32("config.sched_mode");
+    if (smode >
+        static_cast<std::uint32_t>(netsim::SchedMode::kIncremental)) {
+      throw SnapshotError("snapshot: config.sched_mode is out of range");
+    }
+    config.sched_mode = static_cast<netsim::SchedMode>(smode);
+    config.threads = c.u32("config.threads");
+    config.control_period = c.f64("config.control_period");
+    const std::uint32_t policy = c.u32("config.admission.policy");
+    if (policy >
+        static_cast<std::uint32_t>(AdmissionPolicy::kTardinessAware)) {
+      throw SnapshotError("snapshot: config.admission.policy " +
+                          std::to_string(policy) + " is out of range");
+    }
+    config.admission.policy = static_cast<AdmissionPolicy>(policy);
+    config.admission.max_running = c.u64("config.admission.max_running");
+    config.admission.queue_cap = c.u64("config.admission.queue_cap");
+    config.admission.tardiness_limit =
+        c.f64("config.admission.tardiness_limit");
+    const std::string plan_text = c.str("config.fault_plan");
+    c.expect_exhausted("config section");
+    if (!plan_text.empty()) {
+      try {
+        plan = faultsim::parse_fault_plan(plan_text);
+      } catch (const std::invalid_argument& e) {
+        throw SnapshotError(
+            std::string("snapshot: embedded fault plan failed to parse: ") +
+            e.what());
+      }
+    }
+  }
+
+  // kArrivals
+  std::vector<JournalEntry> journal;
+  {
+    const std::string payload = open_section(kArrivalsTag, "arrivals");
+    Reader a(payload.data(), payload.size(), "arrivals");
+    const std::uint64_t count = a.u64("journal.count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JournalEntry e;
+      const std::uint8_t outcome = a.u8("journal.outcome");
+      if (outcome > static_cast<std::uint8_t>(AdmissionOutcome::kRejected)) {
+        throw SnapshotError("snapshot: journal entry " + std::to_string(i) +
+                            " has out-of-range outcome " +
+                            std::to_string(outcome));
+      }
+      e.outcome = static_cast<AdmissionOutcome>(outcome);
+      e.arrival = get_arrival(a);
+      journal.push_back(std::move(e));
+    }
+    a.expect_exhausted("arrivals section");
+  }
+
+  // kGenerator
+  GeneratorState generator;
+  {
+    const std::string payload = open_section(kGeneratorTag, "generator");
+    Reader g(payload.data(), payload.size(), "generator");
+    generator = get_generator(g);
+  }
+
+  // kService
+  std::uint64_t target_steps = 0;
+  {
+    const std::string payload = open_section(kServiceTag, "service");
+    Reader s(payload.data(), payload.size(), "service");
+    target_steps = s.u64("service.steps");
+    (void)s.u64("service.tick_index");
+    const std::uint64_t journal_len = s.u64("service.journal_len");
+    if (journal_len != journal.size()) {
+      throw SnapshotError("snapshot: service section records " +
+                          std::to_string(journal_len) +
+                          " journal entries but the arrivals section holds " +
+                          std::to_string(journal.size()));
+    }
+    (void)s.f64("service.last_arrival_at");
+    (void)s.f64("service.now");
+    s.expect_exhausted("service section");
+  }
+
+  // Rebuild + replay: run the journal back through the identical step loop
+  // (dark: observability attaches only after the state is re-established).
+  auto loop = std::make_unique<ServiceLoop>(config, std::move(plan));
+  {
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(journal.size());
+    for (const JournalEntry& e : journal) arrivals.push_back(e.arrival);
+    loop->begin_replay(journal);
+    loop->set_generator(
+        std::make_unique<JournalReplayGenerator>(std::move(arrivals)));
+    while (loop->steps_executed() < target_steps) {
+      if (!loop->step()) {
+        throw SnapshotError(
+            "snapshot replay underran: loop went idle after " +
+            std::to_string(loop->steps_executed()) + " of " +
+            std::to_string(target_steps) +
+            " steps -- journal and step counter disagree");
+      }
+    }
+    if (loop->journal().size() != journal.size()) {
+      throw SnapshotError("snapshot replay consumed " +
+                          std::to_string(loop->journal().size()) +
+                          " arrivals but the journal holds " +
+                          std::to_string(journal.size()));
+    }
+  }
+
+  // kVerify: bitwise comparison of the replayed state against the image.
+  {
+    const std::string payload = open_section(kVerifyTag, "verify");
+    Reader v(payload.data(), payload.size(), "verify");
+    verify_image(v, *loop);
+  }
+
+  const std::uint32_t end_tag = r.u32("end tag");
+  if (end_tag != kEndTag) {
+    throw SnapshotError("snapshot: missing end tag (found " +
+                        std::to_string(end_tag) + ")");
+  }
+  r.expect_exhausted("snapshot body");
+
+  loop->end_replay(std::move(generator.gen), std::move(generator.pending));
+  loop->attach_observability(options.trace_sink, options.trace_detail,
+                             options.metrics);
+  return loop;
+}
+
+std::unique_ptr<ServiceLoop> restore_snapshot_file(
+    const std::string& path, const RestoreOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return restore_snapshot(buf.str(), options);
+}
+
+}  // namespace echelon::service

@@ -1,0 +1,81 @@
+// Versioned binary snapshot/restore for the online service (DESIGN.md §13).
+//
+// The event queue and workflow engines hold arbitrary std::function
+// closures, so a direct state-image resume is impossible. The snapshot is
+// instead a *replay checkpoint* (event-sourcing): it persists the service
+// configuration, the journal of every consumed arrival with its admission
+// outcome, the arrival generator's progress state, and a bitwise
+// verification image of the simulator. Restore rebuilds the stack from the
+// configuration, replays the journal through the identical step loop
+// (cross-checking every recomputed admission decision against the journaled
+// one), then compares the rebuilt simulator against the verification image
+// field-for-field -- any drift fails loudly with the offending field named.
+// Because the service loop is pull-driven over a deterministic boundary
+// sequence, save -> load -> continue is bit-identical to an uninterrupted
+// run (tests/test_service.cpp proves this at every boundary).
+//
+// Wire format (all integers little-endian, doubles as IEEE-754 bit images):
+//
+//   magic   8 bytes  "ECHSNAP1"
+//   version u32      kSnapshotVersion (readers reject anything else)
+//   sections, each {tag u32, length u64, payload}:
+//     1 kConfig     ServiceConfig incl. the fault plan's text serialization
+//     2 kArrivals   journal: count, then {outcome u8, at f64, JobSpec}
+//     3 kGenerator  generator kind + progress (Poisson RNG words / trace
+//                   file cursor) + the fetched-but-unconsumed arrival
+//     4 kService    step counter, tick index, journal length, clocks
+//     5 kVerify     named scalar image + per-flow records (see .cpp)
+//   end tag u32      0xFFFFFFFF
+//   checksum u64     FNV-1a over every preceding byte
+//
+// Every byte flip is detected: mutations in the header fail the magic or
+// version check, anything else fails the checksum *before* any payload is
+// parsed, and a checksum-valid but semantically-wrong image (version bump
+// without converter, code drift) fails replay or verification. A snapshot
+// never loads garbage (tests/test_service.cpp fuzzes this with seeded
+// byte flips over every offset class).
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/service.hpp"
+
+namespace echelon::service {
+
+inline constexpr char kSnapshotMagic[8] = {'E', 'C', 'H', 'S', 'N', 'A', 'P',
+                                           '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+// Thrown on any malformed, truncated, corrupt, or divergent snapshot. The
+// message always names what failed and where.
+struct SnapshotError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Serializes the loop's full state. Call only at a step boundary (between
+// ServiceLoop::step() calls); mid-event state is not capturable.
+[[nodiscard]] std::string save_snapshot(const ServiceLoop& loop);
+void save_snapshot_file(const ServiceLoop& loop, const std::string& path);
+
+// Observability to attach to the restored loop *after* replay (replay runs
+// dark so a restored run's trace stream contains only post-snapshot events;
+// prefix events live in the original run's sink).
+struct RestoreOptions {
+  obs::TraceSink* trace_sink = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Rebuilds a ServiceLoop from snapshot bytes. Throws SnapshotError on any
+// validation failure; never returns a partially-restored loop.
+[[nodiscard]] std::unique_ptr<ServiceLoop> restore_snapshot(
+    const std::string& bytes, const RestoreOptions& options = {});
+[[nodiscard]] std::unique_ptr<ServiceLoop> restore_snapshot_file(
+    const std::string& path, const RestoreOptions& options = {});
+
+}  // namespace echelon::service

@@ -162,123 +162,13 @@ TEST(ChurnFuzz, ManySeededRunsAgreeAcrossModes) {
 // 3. Direct-drive twin differential
 // ============================================================================
 
-// Address-stable foreign-flow population: `jobs` link-disjoint 8-member
-// pipeline EchelonFlows, each with its own JobId and host range. Foreign
-// flows (ids outside the simulator's table) exercise the hint-pointer
-// binding path of the incremental caches.
-constexpr int kMembers = 8;
-
-struct Population {
-  topology::BuiltFabric fabric;
-  std::unique_ptr<netsim::Simulator> sim;
-  ef::Registry reg;
-  std::vector<netsim::Flow> flows;
-
-  explicit Population(int jobs)
-      : fabric(topology::make_big_switch(jobs * (kMembers + 1), gbps(100))),
-        sim(std::make_unique<netsim::Simulator>(&fabric.topo)) {
-    flows.reserve(static_cast<std::size_t>(jobs) * kMembers);
-    for (int j = 0; j < jobs; ++j) {
-      const EchelonFlowId efid = reg.create(
-          JobId{static_cast<std::uint64_t>(j)},
-          ef::Arrangement::pipeline(kMembers, 0.01));
-      for (int m = 0; m < kMembers; ++m) {
-        netsim::Flow f;
-        f.id = FlowId{static_cast<std::uint64_t>(flows.size())};
-        f.spec.job = JobId{static_cast<std::uint64_t>(j)};
-        f.spec.group = efid;
-        f.spec.index_in_group = m;
-        f.spec.size = 1e8 + 1e6 * static_cast<double>(j * kMembers + m);
-        f.remaining = f.spec.size;
-        const auto src = fabric.hosts[static_cast<std::size_t>(
-            j * (kMembers + 1) + m)];
-        const auto dst = fabric.hosts[static_cast<std::size_t>(
-            j * (kMembers + 1) + m + 1)];
-        f.path = *fabric.topo.route(src, dst, flows.size());
-        reg.get(efid).note_start(m, f.id, f.spec.size,
-                                 0.001 * static_cast<double>(m));
-        flows.push_back(std::move(f));
-      }
-    }
-  }
-};
-
-enum class PolicyKind { kEchelonMadd, kSrpt, kCoflowMadd, kSincronia };
-
-const char* to_string(PolicyKind k) {
-  switch (k) {
-    case PolicyKind::kEchelonMadd: return "echelonflow-madd";
-    case PolicyKind::kSrpt: return "srpt";
-    case PolicyKind::kCoflowMadd: return "coflow-madd";
-    case PolicyKind::kSincronia: return "sincronia";
-  }
-  return "?";
-}
-
-// One population + one scheduler instance, driven directly (no event loop):
-// the harness delivers arrival/departure hooks and dirty marks exactly as
-// the Simulator would.
-struct Twin {
-  Population pop;
-  std::unique_ptr<netsim::NetworkScheduler> sched;
-  std::vector<netsim::Flow*> active;
-
-  Twin(int jobs, PolicyKind kind, SchedMode mode) : pop(jobs) {
-    switch (kind) {
-      case PolicyKind::kEchelonMadd:
-        sched = std::make_unique<ef::EchelonMaddScheduler>(&pop.reg);
-        break;
-      case PolicyKind::kSrpt:
-        sched = std::make_unique<ef::SrptScheduler>();
-        break;
-      case PolicyKind::kCoflowMadd:
-        sched = std::make_unique<ef::CoflowMaddScheduler>();
-        break;
-      case PolicyKind::kSincronia:
-        sched = std::make_unique<ef::SincroniaScheduler>();
-        break;
-    }
-    sched->set_sched_mode(mode);
-    for (netsim::Flow& f : pop.flows) {
-      active.push_back(&f);
-      sched->on_flow_arrival(*pop.sim, f);
-      sched->mark_job_dirty(f.spec.job);
-    }
-  }
-
-  void depart(std::size_t idx) {
-    netsim::Flow* f = active[idx];
-    active.erase(active.begin() + static_cast<std::ptrdiff_t>(idx));
-    sched->on_flow_departure(*pop.sim, *f);
-    sched->mark_job_dirty(f->spec.job);
-  }
-
-  void arrive(netsim::Flow* f) {
-    // Span order is ascending FlowId in the simulator; keep it sorted.
-    auto it = active.begin();
-    while (it != active.end() && (*it)->id < f->id) ++it;
-    active.insert(it, f);
-    sched->on_flow_arrival(*pop.sim, *f);
-    sched->mark_job_dirty(f->spec.job);
-  }
-
-  void control() { sched->control(*pop.sim, active); }
-};
-
-void expect_same_decisions(const Twin& a, const Twin& b, int round) {
-  ASSERT_EQ(a.pop.flows.size(), b.pop.flows.size());
-  for (std::size_t i = 0; i < a.pop.flows.size(); ++i) {
-    const netsim::Flow& fa = a.pop.flows[i];
-    const netsim::Flow& fb = b.pop.flows[i];
-    EXPECT_BITEQ(fa.weight, fb.weight) << "flow " << i << " round " << round;
-    ASSERT_EQ(fa.rate_cap.has_value(), fb.rate_cap.has_value())
-        << "flow " << i << " round " << round;
-    if (fa.rate_cap.has_value()) {
-      EXPECT_BITEQ(*fa.rate_cap, *fb.rate_cap)
-          << "flow " << i << " round " << round;
-    }
-  }
-}
+// The driver (TwinPopulation / Twin / expect_same_decisions) lives in
+// equivalence_harness.hpp so other differential suites (the service suite
+// among them) can reuse it; this section owns the 120-round churn script.
+using eqh::expect_same_decisions;
+using eqh::to_string;
+using eqh::Twin;
+using PolicyKind = eqh::TwinPolicy;
 
 class ChurnTwin : public ::testing::TestWithParam<PolicyKind> {};
 

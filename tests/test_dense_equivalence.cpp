@@ -1019,11 +1019,10 @@ Workload make_workload(std::uint64_t seed, int hosts) {
   return w;
 }
 
-struct SimResult {
-  std::vector<SimTime> finish;
-  Duration tardiness = 0.0;
-  SimTime makespan = 0.0;
-};
+// Result container + bitwise comparator shared via the harness
+// (eqh::SimResult / eqh::expect_same_result).
+using eqh::expect_same_result;
+using eqh::SimResult;
 
 template <typename MakeScheduler>
 SimResult run_full_sim(int topo_kind, const Workload& w,
@@ -1060,17 +1059,6 @@ SimResult run_full_sim(int topo_kind, const Workload& w,
   }
   out.tardiness = reg.total_tardiness();
   return out;
-}
-
-void expect_same_result(const SimResult& a, const SimResult& b,
-                        const std::string& tag) {
-  SCOPED_TRACE(tag);
-  EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.tardiness, b.tardiness);
-  ASSERT_EQ(a.finish.size(), b.finish.size());
-  for (std::size_t i = 0; i < a.finish.size(); ++i) {
-    EXPECT_EQ(a.finish[i], b.finish[i]) << tag << " flow " << i;
-  }
 }
 
 TEST(DenseEquivalence, FullSimulationsMatchSeedSchedulers) {

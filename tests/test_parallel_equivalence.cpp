@@ -191,40 +191,8 @@ ECHELON_INSTANTIATE_SCHED_FABRIC(ParallelEquivalence);
 // 3. Trace streams: per-worker shards merge into the serial emission order
 // ============================================================================
 
-cluster::ExperimentResult run_traced(const std::vector<cluster::JobSpec>& jobs,
-                                     const eqh::RunSpec& spec,
-                                     obs::TraceSink* sink) {
-  cluster::ExperimentConfig cfg;
-  cfg.scheduler = spec.scheduler;
-  cfg.fabric = spec.fabric;
-  cfg.hosts = 16;
-  cfg.port_capacity = gbps(25);
-  cfg.oversubscription =
-      spec.fabric == cluster::FabricKind::kLeafSpine ? 2.0 : 1.0;
-  cfg.alloc_mode = spec.alloc;
-  cfg.fault_plan = spec.plan;
-  cfg.threads = spec.threads;
-  cfg.trace_sink = sink;
-  cfg.trace_detail = obs::TraceDetail::kFlow;
-  return cluster::run_experiment(jobs, cfg);
-}
-
-void expect_same_trace(const obs::TraceRecorder& a,
-                       const obs::TraceRecorder& b) {
-  ASSERT_EQ(a.recorded(), b.recorded());
-  const auto ea = a.events();
-  const auto eb = b.events();
-  ASSERT_EQ(ea.size(), eb.size());
-  for (std::size_t i = 0; i < ea.size(); ++i) {
-    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
-    EXPECT_BITEQ(ea[i].t, eb[i].t);
-    EXPECT_EQ(ea[i].id, eb[i].id);
-    EXPECT_EQ(ea[i].job, eb[i].job);
-    EXPECT_EQ(ea[i].ctx, eb[i].ctx);
-    EXPECT_BITEQ(ea[i].value, eb[i].value);
-  }
-}
-
+// Traced runs route through eqh::run_cluster (RunSpec::trace_sink) and the
+// shared eqh::expect_same_trace comparator -- no local copies.
 using TracedParallelEquivalence = eqh::SchedFabricTest;
 
 TEST_P(TracedParallelEquivalence, FlowDetailTraceStreamIdenticalAcrossThreads) {
@@ -239,15 +207,17 @@ TEST_P(TracedParallelEquivalence, FlowDetailTraceStreamIdenticalAcrossThreads) {
 
   spec.threads = 1;
   obs::TraceRecorder serial_rec;
-  const auto serial = run_traced(jobs, spec, &serial_rec);
+  spec.trace_sink = &serial_rec;
+  const auto serial = eqh::run_cluster(jobs, spec);
   EXPECT_GT(serial_rec.count(obs::TraceKind::kCompFill), 0u);
 
   for (const unsigned threads : kThreadAxis) {
     spec.threads = threads;
     obs::TraceRecorder wide_rec;
-    const auto wide = run_traced(jobs, spec, &wide_rec);
+    spec.trace_sink = &wide_rec;
+    const auto wide = eqh::run_cluster(jobs, spec);
     eqh::expect_same_result(serial, wide);
-    expect_same_trace(serial_rec, wide_rec);
+    eqh::expect_same_trace(serial_rec, wide_rec);
   }
 }
 

@@ -113,6 +113,25 @@ TEST_F(WfFixture, OnCompleteFiresOnce) {
   EXPECT_EQ(eng.completed_nodes(), 2u);
 }
 
+TEST_F(WfFixture, OnCompleteFiresOnceThroughTerminalBarrierChain) {
+  // A terminal barrier completes synchronously inside its parent's
+  // node_done, so the parent frame also observes finished() == true after
+  // its successor loop. The engine must still invoke on_complete exactly
+  // once (regression: the service loop's running-job counter underflowed
+  // when the callback double-fired).
+  Workflow wf;
+  const WfNodeId a = wf.add_compute(w0, 1.0, "a");
+  const WfNodeId bar = wf.add_barrier("join");
+  wf.add_dep(a, bar);
+  int completions = 0;
+  WorkflowEngine eng(&sim, &wf);
+  eng.on_complete = [&completions](Simulator&) { ++completions; };
+  eng.launch(0.0);
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(eng.completed_nodes(), 2u);
+}
+
 TEST_F(WfFixture, TwoEnginesInterleave) {
   Workflow wf1, wf2;
   const WfNodeId t1 = wf1.add_compute(w0, 1.0, "j1");

@@ -53,6 +53,13 @@ whenever the incremental tiers improve, so -- exactly like the route
 family -- they are excluded from the machine-speed calibration median but
 gated normally.
 
+Online-service family (bench_service, EXPERIMENTS.md EXT-S): benchmarks
+whose name carries a "svc:" argument run the streaming service loop end to
+end (admission + incremental launch + control ticks) or its snapshot
+save/restore paths. Their cost tracks the service-mode control-plane
+tiers, not raw machine speed, so they follow the route/churn rule:
+calibration-excluded, gated normally.
+
 Usage:
   bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
   bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
@@ -82,6 +89,10 @@ ROUTE_FAMILY_TAG = "routes:"
 # family: calibration-excluded but gated normally (see module docstring).
 CHURN_FAMILY_TAG = "churn:"
 
+# Benchmark names carrying this argument tag belong to the online-service
+# family: calibration-excluded but gated normally (see module docstring).
+SERVICE_FAMILY_TAG = "svc:"
+
 # Baseline-run context marker: the recording host had a single CPU, so its
 # thread-scaling numbers are degenerate and never gated.
 SINGLE_CORE_MARKER = "single_core_host"
@@ -97,6 +108,10 @@ def is_route_family(name):
 
 def is_churn_family(name):
     return CHURN_FAMILY_TAG in name
+
+
+def is_service_family(name):
+    return SERVICE_FAMILY_TAG in name
 
 
 def load_baseline(path):
@@ -190,7 +205,7 @@ def main():
     # benchmarks only (falling back to everything if nothing else ran).
     calib_pool = [r for n, r in ratios.items()
                   if not is_thread_family(n) and not is_route_family(n)
-                  and not is_churn_family(n)]
+                  and not is_churn_family(n) and not is_service_family(n)]
     if not calib_pool:
         calib_pool = list(ratios.values())
     calibration = 1.0 if args.no_normalize else statistics.median(calib_pool)
@@ -198,8 +213,8 @@ def main():
 
     print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
     calib_kind = ("raw" if args.no_normalize
-                  else "median fresh/baseline, thread/route/churn families "
-                  "excluded")
+                  else "median fresh/baseline, thread/route/churn/service "
+                  "families excluded")
     print(f"machine-speed calibration: x{calibration:.3f} ({calib_kind})")
     failures = []
     shape_skipped = []

@@ -4,6 +4,9 @@
 //   fig2                         reproduce the paper's motivating example
 //   single  [options]            one training job on a dedicated fabric
 //   cluster [options]            a multi-job Poisson trace on a shared fabric
+//   serve   [options]            online service mode: streaming arrivals,
+//                                admission control, snapshot/restore
+//                                (DESIGN.md §13)
 //
 // `single` options:
 //   --paradigm dp|ps|pp|tp|fsdp|ep     (default pp)
@@ -41,6 +44,32 @@
 //   --chaos-seed S (default 1)  --chaos-horizon T seconds (default 2)
 //     fault columns (reroutes/parks/abandoned/downtime) are reported and
 //     written to the CSV whenever fault injection is active.
+//
+// `serve` options (DESIGN.md §13):
+//   --scheduler fair|srpt|coflow|sincronia|echelonflow|coordinator
+//                       (default echelonflow)
+//   --fabric bigswitch|leafspine (default bigswitch)
+//   --hosts N (default 16)  --gbps G (default 25)  --oversub X (default 2)
+//   --arrivals PATH     replay a written arrival-trace file instead of the
+//                       seeded Poisson source
+//   --jobs N (default 12)  --rate R jobs/s (default 2)  --seed S (default 42)
+//   --iterations N (default 2)  --burst-every N (default 0 = off; every Nth
+//                       job arrives at the same instant as its predecessor)
+//   --arrivals-out PATH capture the Poisson stream to a replayable trace file
+//   --admission accept-all|queue-with-cap|tardiness-aware (default accept-all)
+//   --max-running N (default 0 = unlimited)  --queue-cap N (default 16)
+//   --tardiness-limit X seconds (default 1; tardiness-aware load shedding)
+//   --control-period T seconds (default 0.01) forced control-pass interval
+//   --sched-mode full|incremental  --threads N   (same as `cluster`)
+//   --chaos N --chaos-seed S --chaos-horizon T   seeded link faults +
+//                       brownouts (stragglers stay 0: service workers are
+//                       created at launch time, after the plan is armed)
+//   --snapshot-out PATH write a versioned binary snapshot (at exit, and
+//                       periodically with --snapshot-every)
+//   --snapshot-every N  rewrite --snapshot-out every N service steps
+//   --snapshot-in PATH  restore a snapshot and continue it to completion
+//                       (scheduler/admission/arrival flags come from the
+//                       snapshot; only observability flags apply)
 //
 // observability options (both `single` and `cluster`, DESIGN.md §9):
 //   --trace-out PATH    write a Perfetto/Chrome trace_event JSON trace
@@ -81,6 +110,9 @@
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
+#include "service/arrivals.hpp"
+#include "service/service.hpp"
+#include "service/snapshot.hpp"
 #include "topology/builders.hpp"
 #include "workload/dp.hpp"
 #include "workload/ep.hpp"
@@ -564,9 +596,198 @@ int cmd_cluster(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  service::ServiceConfig cfg;
+  const std::string sched_name = args.get("scheduler", "echelonflow");
+  if (sched_name == "fair") {
+    cfg.scheduler = cluster::SchedulerKind::kFairSharing;
+  } else if (sched_name == "srpt") {
+    cfg.scheduler = cluster::SchedulerKind::kSrpt;
+  } else if (sched_name == "coflow") {
+    cfg.scheduler = cluster::SchedulerKind::kCoflowMadd;
+  } else if (sched_name == "sincronia") {
+    cfg.scheduler = cluster::SchedulerKind::kSincronia;
+  } else if (sched_name == "echelonflow") {
+    cfg.scheduler = cluster::SchedulerKind::kEchelonMadd;
+  } else if (sched_name == "coordinator") {
+    cfg.scheduler = cluster::SchedulerKind::kCoordinator;
+  } else {
+    std::cerr << "unknown scheduler '" << sched_name << "'\n";
+    return 2;
+  }
+  const std::string fabric_name = args.get("fabric", "bigswitch");
+  if (fabric_name == "bigswitch") {
+    cfg.fabric = cluster::FabricKind::kBigSwitch;
+  } else if (fabric_name == "leafspine") {
+    cfg.fabric = cluster::FabricKind::kLeafSpine;
+  } else {
+    std::cerr << "unknown fabric '" << fabric_name << "'\n";
+    return 2;
+  }
+  cfg.hosts = args.geti("hosts", 16);
+  cfg.port_capacity = gbps(args.getd("gbps", 25.0));
+  cfg.oversubscription = args.getd("oversub", 2.0);
+  cfg.threads = static_cast<unsigned>(args.geti("threads", 1));
+  cfg.control_period = args.getd("control-period", 0.01);
+  if (!parse_sched_mode(args, &cfg.sched_mode)) return 2;
+  try {
+    cfg.admission.policy = service::admission_policy_from_string(
+        args.get("admission", "accept-all"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << " (expected accept-all|queue-with-cap|"
+                             "tardiness-aware)\n";
+    return 2;
+  }
+  cfg.admission.max_running =
+      static_cast<std::uint64_t>(args.geti("max-running", 0));
+  cfg.admission.queue_cap =
+      static_cast<std::uint64_t>(args.geti("queue-cap", 16));
+  cfg.admission.tardiness_limit = args.getd("tardiness-limit", 1.0);
+
+  ObsArgs obs_args;
+  if (!parse_obs(args, &obs_args)) return 2;
+  obs::TraceRecorder recorder(1u << 20);
+  obs::MetricsRegistry metrics;
+  if (obs_args.tracing()) {
+    cfg.trace_sink = &recorder;
+    cfg.trace_detail = obs_args.detail;
+  }
+  if (obs_args.metrics()) cfg.metrics = &metrics;
+
+  const std::string snapshot_in = args.get("snapshot-in", "");
+  const std::string snapshot_out = args.get("snapshot-out", "");
+  const std::uint64_t snapshot_every =
+      static_cast<std::uint64_t>(args.geti("snapshot-every", 0));
+
+  std::unique_ptr<service::ServiceLoop> loop;
+  faultsim::FaultPlan chaos_plan;
+  try {
+    if (!snapshot_in.empty()) {
+      // Configuration (scheduler, fabric, admission, chaos, generator
+      // progress) comes from the snapshot; only observability flags apply.
+      service::RestoreOptions ro;
+      ro.trace_sink = cfg.trace_sink;
+      ro.trace_detail = cfg.trace_detail;
+      ro.metrics = cfg.metrics;
+      loop = service::restore_snapshot_file(snapshot_in, ro);
+      std::cout << "restored " << snapshot_in << " at step "
+                << loop->steps_executed() << " (t=" << loop->sim().now()
+                << ", " << loop->journal().size() << " arrivals consumed)\n";
+    } else {
+      const int chaos = args.geti("chaos", 0);
+      if (chaos > 0) {
+        // Same fabric shape ServiceLoop builds internally. Stragglers stay
+        // zero: service-mode workers are created at job-launch time, after
+        // the plan is armed.
+        const auto built =
+            cfg.fabric == cluster::FabricKind::kBigSwitch
+                ? topology::make_big_switch(cfg.hosts, cfg.port_capacity)
+                : topology::make_leaf_spine(
+                      {.leaves = std::max(1, cfg.hosts / 8),
+                       .spines = 2,
+                       .hosts_per_leaf = 8,
+                       .host_link = cfg.port_capacity,
+                       .uplink = 8 * cfg.port_capacity /
+                                 (2 * cfg.oversubscription)});
+        faultsim::ChaosProfile profile;
+        profile.seed = static_cast<std::uint64_t>(args.geti("chaos-seed", 1));
+        profile.horizon = args.getd("chaos-horizon", 2.0);
+        profile.link_faults = chaos;
+        profile.brownouts = chaos;
+        profile.stragglers = 0;
+        chaos_plan = faultsim::from_chaos(profile, built.topo,
+                                          /*worker_count=*/0,
+                                          /*job_count=*/args.geti("jobs", 12));
+        cfg.fault_plan = &chaos_plan;
+      }
+      loop = std::make_unique<service::ServiceLoop>(cfg);
+
+      const std::string arrivals_path = args.get("arrivals", "");
+      if (!arrivals_path.empty()) {
+        loop->set_generator(
+            std::make_unique<service::TraceFileArrivalReader>(arrivals_path));
+      } else {
+        cluster::TraceConfig tc;
+        tc.num_jobs = args.geti("jobs", 12);
+        tc.arrival_rate = args.getd("rate", 2.0);
+        tc.seed = static_cast<std::uint64_t>(args.geti("seed", 42));
+        tc.iterations = args.geti("iterations", 2);
+        const int burst = args.geti("burst-every", 0);
+        const std::string arrivals_out = args.get("arrivals-out", "");
+        if (!arrivals_out.empty()) {
+          // Capture the exact stream the loop will consume: drain a twin
+          // generator (same seed, same draw sequence) to a replayable file.
+          service::PoissonArrivalGenerator twin(tc, burst);
+          std::ofstream out(arrivals_out);
+          if (!out) {
+            std::cerr << "cannot write " << arrivals_out << "\n";
+            return 1;
+          }
+          service::write_arrival_trace(out, service::drain(twin));
+          std::cout << "wrote " << arrivals_out << "\n";
+        }
+        loop->set_generator(
+            std::make_unique<service::PoissonArrivalGenerator>(tc, burst));
+      }
+    }
+
+    // Snapshots are only valid at step boundaries (drain's final run() to
+    // quiescence executes past the last boundary), so the terminal snapshot
+    // is written after the step loop exhausts and *before* drain.
+    while (loop->step()) {
+      if (!snapshot_out.empty() && snapshot_every > 0 &&
+          loop->steps_executed() % snapshot_every == 0) {
+        service::save_snapshot_file(*loop, snapshot_out);
+      }
+    }
+    if (!snapshot_out.empty()) {
+      service::save_snapshot_file(*loop, snapshot_out);
+      std::cout << "wrote " << snapshot_out << "\n";
+    }
+    loop->drain();
+  } catch (const service::SnapshotError& e) {
+    std::cerr << "snapshot error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "serve failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  loop->publish_metrics();
+  const service::ServiceResult r = loop->result();
+  Table t({"scheduler", "arrivals", "admitted", "queued", "rejected",
+           "launched", "completed", "end (s)", "tardiness", "ctl passes"});
+  t.add_row({r.scheduler_name, std::to_string(r.arrivals),
+             std::to_string(r.admitted), std::to_string(r.queued),
+             std::to_string(r.rejected), std::to_string(r.launched),
+             std::to_string(r.completed), Table::num(r.end, 3),
+             Table::num(r.total_tardiness, 3),
+             std::to_string(r.control_invocations)});
+  t.print(std::cout);
+
+  if (obs_args.tracing() && !obs_args.trace_out.empty()) {
+    obs::PerfettoOptions popt;
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    if (!export_trace(obs_args.trace_out, recorder,
+                      obs_args.metrics() ? &snap : nullptr, popt)) {
+      return 1;
+    }
+  }
+  if (obs_args.metrics()) {
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    if (!obs::write_metrics_csv(obs_args.metrics_out, snap)) {
+      std::cerr << "cannot write " << obs_args.metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << obs_args.metrics_out << "\n\n";
+    obs::print_metrics_summary(std::cout, snap);
+  }
+  return 0;
+}
+
 void usage() {
-  std::cout << "usage: echelonflow_cli <fig2|single|cluster> [--key value]... "
-               "[--timeline]\n"
+  std::cout << "usage: echelonflow_cli <fig2|single|cluster|serve> "
+               "[--key value]... [--timeline]\n"
                "see the header of tools/echelonflow_cli.cpp for options.\n";
 }
 
@@ -582,6 +803,7 @@ int main(int argc, char** argv) {
   if (cmd == "fig2") return cmd_fig2();
   if (cmd == "single") return cmd_single(args);
   if (cmd == "cluster") return cmd_cluster(args);
+  if (cmd == "serve") return cmd_serve(args);
   usage();
   return 2;
 }
