@@ -105,20 +105,27 @@ void Simulator::trace_flow(obs::TraceKind kind, const Flow& f, double value,
                  label);
 }
 
-void Simulator::sample_metrics() {
-  m_active_flows_->sample(now_, static_cast<double>(active_flows_.size()));
+void Simulator::link_utilization(std::vector<double>& out) const {
   // Per-link utilization: sum of allocated rates over the nominal capacity.
-  // O(active * path_len), but only ever reached with a registry attached.
-  std::fill(link_rate_scratch_.begin(), link_rate_scratch_.end(), 0.0);
+  // O(active * path_len). assign() on a same-sized vector reallocates
+  // nothing, so steady-state sampling stays allocation-free.
+  out.assign(topo_->link_count(), 0.0);
   for (FlowId id : active_flows_) {
     const Flow& f = flows_.at(id.value());
     if (f.rate <= 0.0 || std::isinf(f.rate)) continue;
-    for (const LinkId lid : f.path) link_rate_scratch_[lid.value()] += f.rate;
+    for (const LinkId lid : f.path) out[lid.value()] += f.rate;
   }
-  for (std::size_t i = 0; i < link_rate_scratch_.size(); ++i) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const double cap = topo_->links()[i].capacity;
-    m_link_util_[i]->sample(
-        now_, cap > 0.0 ? link_rate_scratch_[i] / cap : 0.0);
+    out[i] = cap > 0.0 ? out[i] / cap : 0.0;
+  }
+}
+
+void Simulator::sample_metrics() {
+  m_active_flows_->sample(now_, static_cast<double>(active_flows_.size()));
+  link_utilization(link_rate_scratch_);
+  for (std::size_t i = 0; i < link_rate_scratch_.size(); ++i) {
+    m_link_util_[i]->sample(now_, link_rate_scratch_[i]);
   }
 }
 

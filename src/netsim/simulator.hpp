@@ -156,6 +156,12 @@ class Simulator {
     return metrics_;
   }
 
+  // Current per-link utilization (allocated rate / nominal capacity) into
+  // `out`, resized to link_count(). Read-only over active-flow state; the
+  // service-plane telemetry flusher samples this at its own cadence,
+  // independent of the control-pass sampling set_metrics wires up.
+  void link_utilization(std::vector<double>& out) const;
+
   // --- workers / compute ---
   WorkerId add_worker(NodeId host, std::string name = {});
   [[nodiscard]] const Worker& worker(WorkerId id) const {

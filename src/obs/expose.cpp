@@ -1,0 +1,239 @@
+#include "obs/expose.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace echelon::obs {
+
+namespace {
+
+// Shortest round-trippable float formatting, matching the Perfetto
+// exporter's convention so every emitted double is byte-stable.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+void append_sanitized(std::string_view seg, std::string& out) {
+  for (char c : seg) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+}
+
+struct Family {
+  char type = 'g';  // 'c' counter, 'g' gauge, 'h' histogram
+  std::vector<std::pair<std::string, std::string>> scalars;  // labels, value
+  std::vector<std::pair<std::string, const MetricsSnapshot::Hist*>> hists;
+};
+
+Family& family_for(std::map<std::string, Family>& families,
+                   const std::string& name, char type) {
+  auto [it, inserted] = families.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+  } else if (it->second.type != type) {
+    throw std::invalid_argument(
+        "to_prom_text: family '" + name +
+        "' produced by metrics of different instrument kinds");
+  }
+  return it->second;
+}
+
+void add_scalar(std::map<std::string, Family>& families, LabelInterner* intern,
+                std::string_view dotted, char type, std::string value) {
+  std::string family;
+  std::string labels;
+  prom_split_name(dotted, family, labels);
+  if (type == 'c') family += "_total";
+  if (intern != nullptr && !labels.empty()) intern->intern(labels);
+  family_for(families, family, type)
+      .scalars.emplace_back(std::move(labels), std::move(value));
+}
+
+}  // namespace
+
+std::uint32_t LabelInterner::intern(std::string_view labels) {
+  const auto it = ids_.find(labels);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(by_id_.size());
+  const auto node = ids_.emplace(std::string(labels), id).first;
+  by_id_.push_back(&node->first);
+  return id;
+}
+
+void prom_split_name(std::string_view dotted, std::string& family,
+                     std::string& labels) {
+  family.clear();
+  labels.clear();
+  std::string last_key = "idx";  // key for a numeric segment with no prefix
+  std::vector<std::string> used_keys;
+  std::size_t pos = 0;
+  while (pos <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', pos);
+    const std::string_view seg =
+        dotted.substr(pos, dot == std::string_view::npos ? dot : dot - pos);
+    if (!seg.empty()) {
+      if (all_digits(seg)) {
+        std::string key = last_key;
+        // Prometheus forbids duplicate label names; disambiguate repeats.
+        int repeat = 1;
+        for (const std::string& u : used_keys) {
+          if (u == key) ++repeat;
+        }
+        used_keys.push_back(key);
+        if (repeat > 1) key += "_" + std::to_string(repeat);
+        if (!labels.empty()) labels.push_back(',');
+        labels += key;
+        labels += "=\"";
+        labels.append(seg);
+        labels += "\"";
+      } else {
+        if (!family.empty()) family.push_back('_');
+        append_sanitized(seg, family);
+        last_key.clear();
+        append_sanitized(seg, last_key);
+      }
+    }
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  if (family.empty()) family = "metric";
+  if (std::isdigit(static_cast<unsigned char>(family.front())) != 0) {
+    family.insert(family.begin(), '_');
+  }
+}
+
+std::string to_prom_text(const MetricsSnapshot& snap, LabelInterner* interner) {
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, v] : snap.counters) {
+    add_scalar(families, interner, name, 'c', std::to_string(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    add_scalar(families, interner, name, 'g', fmt_double(v));
+  }
+  // A series exposes as a gauge reading its most recent sample -- the
+  // "current value" a scraper would see.
+  for (const MetricsSnapshot::Ser& s : snap.series) {
+    if (s.points.empty()) continue;
+    add_scalar(families, interner, s.name, 'g',
+               fmt_double(s.points.back().second));
+  }
+  for (const MetricsSnapshot::Hist& h : snap.histograms) {
+    std::string family;
+    std::string labels;
+    prom_split_name(h.name, family, labels);
+    if (interner != nullptr && !labels.empty()) interner->intern(labels);
+    family_for(families, family, 'h').hists.emplace_back(std::move(labels), &h);
+  }
+
+  std::string out;
+  for (auto& [name, fam] : families) {
+    out += "# TYPE ";
+    out += name;
+    out += fam.type == 'c' ? " counter\n"
+           : fam.type == 'h' ? " histogram\n"
+                             : " gauge\n";
+    std::sort(fam.scalars.begin(), fam.scalars.end());
+    for (const auto& [labels, value] : fam.scalars) {
+      out += name;
+      if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+      }
+      out += ' ';
+      out += value;
+      out += '\n';
+    }
+    std::sort(fam.hists.begin(), fam.hists.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [labels, h] : fam.hists) {
+      const std::string prefix = labels.empty() ? "" : labels + ",";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h->counts.size(); ++i) {
+        cum += h->counts[i];
+        out += name;
+        out += "_bucket{";
+        out += prefix;
+        out += "le=\"";
+        out += i < h->bounds.size() ? fmt_double(h->bounds[i]) : "+Inf";
+        out += "\"} ";
+        out += std::to_string(cum);
+        out += '\n';
+      }
+      out += name;
+      out += "_sum";
+      if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+      }
+      out += ' ';
+      out += fmt_double(h->sum);
+      out += '\n';
+      out += name;
+      out += "_count";
+      if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+      }
+      out += ' ';
+      out += std::to_string(h->count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+PromWriter::PromWriter(std::string path, int rotate_keep)
+    : path_(std::move(path)), rotate_keep_(rotate_keep) {}
+
+std::size_t PromWriter::write(const MetricsSnapshot& snap) {
+  const std::string text = to_prom_text(snap, &interner_);
+  if (rotate_keep_ > 0) {
+    // Shift path -> path.1 -> ... -> path.N; missing links are fine (the
+    // first few writes have nothing to rotate).
+    for (int i = rotate_keep_ - 1; i >= 1; --i) {
+      const std::string from = path_ + "." + std::to_string(i);
+      const std::string to = path_ + "." + std::to_string(i + 1);
+      std::rename(from.c_str(), to.c_str());
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("PromWriter: cannot open " + tmp);
+    }
+    os.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!os) {
+      throw std::runtime_error("PromWriter: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("PromWriter: cannot rename " + tmp + " -> " +
+                             path_);
+  }
+  ++writes_;
+  return text.size();
+}
+
+}  // namespace echelon::obs

@@ -1,0 +1,226 @@
+#include "obs/flightrec.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace echelon::obs {
+
+namespace {
+
+constexpr std::string_view kKindNames[kFlightKindCount] = {
+    "admit", "queue", "reject", "launch", "complete",
+    "fault", "flush", "snapshot", "error",
+};
+
+bool kind_from_name(std::string_view name, FlightKind& out) {
+  for (int i = 0; i < kFlightKindCount; ++i) {
+    if (kKindNames[i] == name) {
+      out = static_cast<FlightKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void fnv1a(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+}
+
+void fnv1a_u64(std::uint64_t& h, std::uint64_t v) { fnv1a(h, &v, sizeof(v)); }
+
+std::string fmt_time(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", t);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view flight_kind_name(FlightKind kind) noexcept {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(FlightKind kind, SimTime t, std::uint64_t a,
+                            std::uint64_t b, std::string note) {
+  FlightEvent& slot = ring_[head_];
+  slot.kind = kind;
+  slot.t = t;
+  slot.a = a;
+  slot.b = b;
+  slot.note = std::move(note);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++recorded_;
+  ++counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  for (auto& c : counts_) c = 0;
+}
+
+void FlightRecorder::restore(std::uint64_t recorded,
+                             const std::vector<std::uint64_t>& counts,
+                             std::vector<FlightEvent> events) {
+  if (events.size() > ring_.size()) {
+    throw std::invalid_argument(
+        "FlightRecorder::restore: " + std::to_string(events.size()) +
+        " events exceed ring capacity " + std::to_string(ring_.size()));
+  }
+  if (counts.size() != static_cast<std::size_t>(kFlightKindCount)) {
+    throw std::invalid_argument(
+        "FlightRecorder::restore: expected " +
+        std::to_string(kFlightKindCount) + " per-kind counts, got " +
+        std::to_string(counts.size()));
+  }
+  clear();
+  size_ = events.size();
+  head_ = size_ % ring_.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ring_[i] = std::move(events[i]);
+  }
+  recorded_ = recorded;
+  for (int i = 0; i < kFlightKindCount; ++i) {
+    counts_[i] = counts[static_cast<std::size_t>(i)];
+  }
+}
+
+std::uint64_t FlightRecorder::ring_digest() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  fnv1a_u64(h, recorded_);
+  for (std::uint64_t c : counts_) fnv1a_u64(h, c);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const FlightEvent& ev = ring_[(start + i) % ring_.size()];
+    fnv1a_u64(h, static_cast<std::uint64_t>(ev.kind));
+    fnv1a_u64(h, f64_bits(ev.t));
+    fnv1a_u64(h, ev.a);
+    fnv1a_u64(h, ev.b);
+    fnv1a(h, ev.note.data(), ev.note.size());
+    fnv1a_u64(h, ev.note.size());
+  }
+  return h;
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  os << "ECHFLIGHT 1\n";
+  os << "capacity " << ring_.size() << "\n";
+  os << "recorded " << recorded_ << "\n";
+  os << "counts";
+  for (int i = 0; i < kFlightKindCount; ++i) {
+    os << ' ' << kKindNames[i] << '=' << counts_[i];
+  }
+  os << "\n";
+  for (const FlightEvent& ev : events()) {
+    os << "E " << flight_kind_name(ev.kind) << ' ' << fmt_time(ev.t) << ' '
+       << ev.a << ' ' << ev.b;
+    if (!ev.note.empty()) os << ' ' << ev.note;
+    os << "\n";
+  }
+  os << "END\n";
+}
+
+std::string FlightRecorder::dump_string() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+ParsedFlightDump parse_flight_dump(std::istream& is) {
+  ParsedFlightDump out;
+  std::string line;
+  auto fail = [&out](std::string msg) {
+    out.ok = false;
+    out.error = std::move(msg);
+    return out;
+  };
+
+  if (!std::getline(is, line) || line != "ECHFLIGHT 1") {
+    return fail("bad header: expected 'ECHFLIGHT 1'");
+  }
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "capacity %zu", &out.capacity) != 1) {
+    return fail("bad capacity line");
+  }
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "recorded %llu",
+                  reinterpret_cast<unsigned long long*>(&out.recorded)) != 1) {
+    return fail("bad recorded line");
+  }
+  if (!std::getline(is, line) || line.rfind("counts", 0) != 0) {
+    return fail("bad counts line");
+  }
+  {
+    std::istringstream cs(line.substr(6));
+    std::string tok;
+    while (cs >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) return fail("bad counts token: " + tok);
+      FlightKind kind{};
+      if (!kind_from_name(tok.substr(0, eq), kind)) {
+        return fail("unknown kind in counts: " + tok);
+      }
+      out.counts[static_cast<std::size_t>(kind)] =
+          std::strtoull(tok.c_str() + eq + 1, nullptr, 10);
+    }
+  }
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line == "END") {
+      saw_end = true;
+      break;
+    }
+    if (line.rfind("E ", 0) != 0) return fail("bad event line: " + line);
+    std::istringstream es(line.substr(2));
+    std::string kind_name;
+    std::string t_str;
+    FlightEvent ev;
+    if (!(es >> kind_name >> t_str >> ev.a >> ev.b)) {
+      return fail("short event line: " + line);
+    }
+    if (!kind_from_name(kind_name, ev.kind)) {
+      return fail("unknown event kind: " + kind_name);
+    }
+    ev.t = std::strtod(t_str.c_str(), nullptr);
+    if (es.peek() == ' ') es.get();
+    std::getline(es, ev.note);
+    out.events.push_back(std::move(ev));
+  }
+  if (!saw_end) return fail("missing END");
+  if (out.events.size() > out.capacity) {
+    return fail("more events than capacity");
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace echelon::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace echelon::obs {
 
@@ -85,7 +86,16 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 Series& MetricsRegistry::series(std::string_view name) {
-  return series_.try_emplace(std::string(name)).first->second;
+  auto [it, inserted] = series_.try_emplace(std::string(name));
+  if (inserted && series_budget_ != 0) {
+    it->second.set_point_budget(series_budget_);
+  }
+  return it->second;
+}
+
+void MetricsRegistry::set_series_budget(std::size_t budget) {
+  series_budget_ = budget;
+  for (auto& [name, ser] : series_) ser.set_point_budget(budget);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -165,7 +175,15 @@ MetricsSnapshot merge_snapshots(std::span<const MetricsSnapshot> snapshots) {
         continue;
       }
       MetricsSnapshot::Hist& acc = it->second;
-      if (acc.bounds != h.bounds) continue;  // registration bug; skip
+      if (acc.bounds != h.bounds) {
+        throw std::invalid_argument(
+            "merge_snapshots: histogram '" + h.name +
+            "' has mismatched bucket layouts across snapshots (" +
+            std::to_string(acc.bounds.size()) + " vs " +
+            std::to_string(h.bounds.size()) +
+            " bounds) -- same-name histograms must be registered with "
+            "identical bounds");
+      }
       for (std::size_t i = 0; i < acc.counts.size(); ++i) {
         acc.counts[i] += h.counts[i];
       }

@@ -97,16 +97,57 @@ class Histogram {
 [[nodiscard]] std::vector<double> default_duration_bounds();
 
 // Time-stamped samples of a gauge-like quantity.
+//
+// Unbounded by default. set_point_budget(B) bounds memory for indefinitely
+// long service runs by *decimation*: once B retained points accumulate,
+// every other one is dropped and the keep-stride doubles, so the series
+// thereafter records only every stride-th offered sample. The retained set
+// is always exactly the uncapped series' samples at offer indices that are
+// multiples of the current stride -- a capped and an uncapped series fed
+// the same stream agree bitwise on every point the capped one kept.
 class Series {
  public:
-  void sample(SimTime t, double value) { points_.emplace_back(t, value); }
+  void sample(SimTime t, double value) {
+    if (total_ % stride_ == 0) {
+      points_.emplace_back(t, value);
+      if (budget_ != 0 && points_.size() >= budget_) decimate();
+    }
+    ++total_;
+  }
   [[nodiscard]] const std::vector<std::pair<SimTime, double>>& points()
       const noexcept {
     return points_;
   }
 
+  // Retention cap (0 = unbounded, the default). Budgets below 2 are clamped
+  // to 2: decimation must be able to make progress. Applying a budget to an
+  // already-over-budget series decimates immediately.
+  void set_point_budget(std::size_t budget) {
+    budget_ = budget == 0 ? 0 : std::max<std::size_t>(budget, 2);
+    while (budget_ != 0 && points_.size() >= budget_) decimate();
+  }
+  [[nodiscard]] std::size_t point_budget() const noexcept { return budget_; }
+  // Current keep-stride in offered samples (1 until the budget first trips).
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+  // Samples offered over the series' lifetime (>= points().size()).
+  [[nodiscard]] std::uint64_t total_samples() const noexcept { return total_; }
+
  private:
+  void decimate() {
+    // Keep retained indices 0, 2, 4, ... -- offer indices that are multiples
+    // of the doubled stride.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < points_.size(); i += 2) {
+      points_[out++] = points_[i];
+    }
+    points_.resize(out);
+    stride_ *= 2;
+  }
+
   std::vector<std::pair<SimTime, double>> points_;
+  std::size_t budget_ = 0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t total_ = 0;
 };
 
 // Self-contained, name-sorted copy of a registry's state.
@@ -156,6 +197,13 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
   Series& series(std::string_view name);
 
+  // Retention cap applied to every existing and future series in this
+  // registry (see Series::set_point_budget; 0 = unbounded).
+  void set_series_budget(std::size_t budget);
+  [[nodiscard]] std::size_t series_budget() const noexcept {
+    return series_budget_;
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -165,13 +213,16 @@ class MetricsRegistry {
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, Series, std::less<>> series_;
+  std::size_t series_budget_ = 0;
 };
 
 // Deterministic merge of per-point snapshots (point order): counters sum;
 // gauges average (arithmetic mean over the snapshots defining them);
-// histograms with identical bounds add counts and merge count/sum/min/max
-// (differing bounds would indicate a registration bug and are skipped);
-// series are point-local and intentionally dropped -- export them per point.
+// histograms with identical bounds add counts and merge count/sum/min/max.
+// A histogram name appearing with *different* bucket layouts is a
+// registration bug; the merge throws std::invalid_argument naming the
+// metric rather than silently misfolding counts.
+// Series are point-local and intentionally dropped -- export them per point.
 [[nodiscard]] MetricsSnapshot merge_snapshots(
     std::span<const MetricsSnapshot> snapshots);
 

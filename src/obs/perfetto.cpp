@@ -236,7 +236,15 @@ std::size_t write_perfetto_trace(std::ostream& os, const TraceRecorder& rec,
          to_string(k));
   }
   if (metrics != nullptr && !metrics->series.empty()) {
-    meta("process_name", kCountersPid, 0, false, "counters");
+    bool any_sim = false;
+    bool any_service = false;
+    for (const MetricsSnapshot::Ser& ser : metrics->series) {
+      (ser.name.rfind("service.", 0) == 0 ? any_service : any_sim) = true;
+    }
+    if (any_sim) meta("process_name", kCountersPid, 0, false, "counters");
+    if (any_service) {
+      meta("process_name", kServicePid, 0, false, "service control");
+    }
   }
 
   // --- events, in recorded order --------------------------------------------
@@ -361,9 +369,12 @@ std::size_t write_perfetto_trace(std::ostream& os, const TraceRecorder& rec,
     for (const MetricsSnapshot::Ser& ser : metrics->series) {
       const std::string display =
           series_display_name(ser.name, options.topology);
+      const std::uint64_t pid = ser.name.rfind("service.", 0) == 0
+                                    ? kServicePid
+                                    : kCountersPid;
       for (const auto& [t, v] : ser.points) {
         std::string f =
-            common_fields(display, "C", "counter", kCountersPid, tid, t * scale);
+            common_fields(display, "C", "counter", pid, tid, t * scale);
         f += ",\"args\":{\"value\":";
         f += fmt_double(v);
         f += '}';

@@ -49,6 +49,10 @@ namespace echelon::obs {
 // 0-based), so reserve a distant range to avoid collisions.
 inline constexpr std::uint64_t kControlPid = 1'000'000;
 inline constexpr std::uint64_t kCountersPid = 1'000'001;
+// Service-plane counter tracks ("service.*" series: SLO gauges, queue
+// depth, control-plane self-profile) render as their own process so live
+// service telemetry is visually separate from simulation counters.
+inline constexpr std::uint64_t kServicePid = 1'000'002;
 
 struct PerfettoOptions {
   // Simulator seconds -> trace_event timestamp units (µs).

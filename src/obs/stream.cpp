@@ -1,0 +1,101 @@
+#include "obs/stream.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace echelon::obs {
+
+namespace {
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_f64(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void TraceChunkWriter::record(const TraceEvent& ev, std::string_view label) {
+  buf_.push_back(Buffered{ev, std::string(label)});
+}
+
+std::size_t TraceChunkWriter::flush() {
+  const std::size_t n = buf_.size();
+  *os_ << "ECHCHUNK " << n << "\n";
+  char line[256];
+  for (const Buffered& b : buf_) {
+    std::snprintf(line, sizeof(line),
+                  "%c %u %016" PRIx64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %016" PRIx64,
+                  b.label.empty() ? 'E' : 'L',
+                  static_cast<unsigned>(b.ev.kind), f64_bits(b.ev.t), b.ev.id,
+                  b.ev.job, b.ev.ctx, f64_bits(b.ev.value));
+    *os_ << line;
+    if (!b.label.empty()) *os_ << ' ' << b.label;
+    *os_ << "\n";
+  }
+  total_ += n;
+  ++chunks_;
+  buf_.clear();
+  return n;
+}
+
+std::uint64_t merge_trace_chunks(std::istream& is, TraceSink& sink) {
+  std::uint64_t replayed = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    unsigned long long n = 0;
+    if (std::sscanf(line.c_str(), "ECHCHUNK %llu", &n) != 1) {
+      throw std::runtime_error("merge_trace_chunks: bad chunk header: " +
+                               line);
+    }
+    for (unsigned long long i = 0; i < n; ++i) {
+      if (!std::getline(is, line)) {
+        throw std::runtime_error(
+            "merge_trace_chunks: chunk truncated (expected " +
+            std::to_string(n) + " events, got " + std::to_string(i) + ")");
+      }
+      char tag = 0;
+      unsigned kind = 0;
+      std::uint64_t t_bits = 0;
+      std::uint64_t v_bits = 0;
+      TraceEvent ev;
+      int consumed = 0;
+      if (std::sscanf(line.c_str(),
+                      "%c %u %" SCNx64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                      " %" SCNx64 "%n",
+                      &tag, &kind, &t_bits, &ev.id, &ev.job, &ev.ctx, &v_bits,
+                      &consumed) != 7 ||
+          (tag != 'E' && tag != 'L') || kind >= kTraceKindCount) {
+        throw std::runtime_error("merge_trace_chunks: bad event line: " +
+                                 line);
+      }
+      ev.kind = static_cast<TraceKind>(kind);
+      ev.t = bits_f64(t_bits);
+      ev.value = bits_f64(v_bits);
+      std::string_view label;
+      if (tag == 'L') {
+        std::string_view rest{line};
+        rest.remove_prefix(static_cast<std::size_t>(consumed));
+        if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+        label = rest;
+      }
+      sink.record(ev, label);
+      ++replayed;
+    }
+  }
+  return replayed;
+}
+
+}  // namespace echelon::obs

@@ -1,0 +1,67 @@
+// Incremental (chunked) trace streaming for long service runs
+// (DESIGN.md §15).
+//
+// TraceRecorder buffers a whole run; an indefinitely-running ServiceLoop
+// cannot afford that. TraceChunkWriter is a TraceSink that buffers events
+// only until the service's next flush boundary, then appends one
+// self-delimiting text chunk to a stream and forgets them -- memory held
+// is O(events per chunk), not O(run).
+//
+// Chunk format (doubles as raw IEEE-754 bit images in hex, so replay is
+// bit-exact):
+//
+//   ECHCHUNK <n-events>
+//   E <kind> <t-bits> <id> <job> <ctx> <value-bits>
+//   L <kind> <t-bits> <id> <job> <ctx> <value-bits> <label...>
+//
+// merge_trace_chunks replays a concatenation of chunks into any TraceSink
+// in recorded order. Feeding the merged stream into a TraceRecorder of the
+// same capacity as a whole-run recorder reproduces the identical ring
+// (events, cumulative counts, label directory), so the Perfetto export of
+// the merged stream is byte-identical to the whole-run export -- pinned by
+// tests/test_service_telemetry.cpp.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace echelon::obs {
+
+class TraceChunkWriter final : public TraceSink {
+ public:
+  explicit TraceChunkWriter(std::ostream& os) : os_(&os) {}
+
+  using TraceSink::record;
+  void record(const TraceEvent& ev, std::string_view label) override;
+
+  // Appends one chunk holding everything buffered since the previous flush
+  // (a "ECHCHUNK 0" chunk when nothing is buffered -- boundaries are still
+  // visible in the stream) and clears the buffer. Returns the event count.
+  std::size_t flush();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t chunks() const noexcept { return chunks_; }
+  [[nodiscard]] std::uint64_t total_events() const noexcept { return total_; }
+
+ private:
+  struct Buffered {
+    TraceEvent ev;
+    std::string label;
+  };
+  std::ostream* os_;
+  std::vector<Buffered> buf_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Replays every chunk in `is` into `sink` in recorded order; returns the
+// number of events replayed. Throws std::runtime_error on malformed input
+// (bad magic, short chunk, unparseable event line).
+std::uint64_t merge_trace_chunks(std::istream& is, TraceSink& sink);
+
+}  // namespace echelon::obs

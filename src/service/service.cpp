@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <fstream>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
@@ -53,8 +55,24 @@ ServiceLoop::ServiceLoop(const ServiceConfig& config,
   if (config_.control_period <= 0.0) {
     throw std::invalid_argument("ServiceLoop: control_period must be > 0");
   }
+  if (config_.telemetry.metrics_every < 0.0) {
+    throw std::invalid_argument("ServiceLoop: metrics_every must be >= 0");
+  }
   if (owned_plan_.has_value()) config_.fault_plan = &*owned_plan_;
   build_stack();
+
+  // Telemetry state is config-driven (no output attachments yet), so a
+  // restored loop replaying its journal rebuilds it identically.
+  if (config_.telemetry.slo.enabled()) {
+    slo_ = std::make_unique<SloTracker>(config_.telemetry.slo);
+  }
+  if (config_.telemetry.flightrec_capacity > 0) {
+    flightrec_ = std::make_unique<obs::FlightRecorder>(
+        config_.telemetry.flightrec_capacity);
+  }
+  if (config_.telemetry.series_budget > 0) {
+    telemetry_.set_series_budget(config_.telemetry.series_budget);
+  }
 }
 
 ServiceLoop::~ServiceLoop() = default;
@@ -164,6 +182,20 @@ void ServiceLoop::refill_pending() {
 }
 
 bool ServiceLoop::step() {
+  bool advanced = false;
+  try {
+    advanced = step_impl();
+  } catch (const std::exception& e) {
+    // Crash path: preserve the flight ring as a post-mortem before the
+    // exception unwinds through the driver.
+    note_error(e.what());
+    throw;
+  }
+  if (advanced) telemetry_boundary();
+  return advanced;
+}
+
+bool ServiceLoop::step_impl() {
   refill_pending();
   const bool work_left = running_ > 0 || !wait_queue_.empty();
   if (!pending_.has_value() && !work_left) return false;
@@ -174,7 +206,9 @@ bool ServiceLoop::step() {
   // every run regardless of where snapshots cut the sequence).
   const SimTime tick_at =
       config_.control_period * static_cast<double>(tick_index_ + 1);
-  if (pending_.has_value() && (!work_left || !(tick_at < pending_->at))) {
+  const bool is_tick =
+      !(pending_.has_value() && (!work_left || !(tick_at < pending_->at)));
+  if (!is_tick) {
     const SimTime at = pending_->at;
     sim_.run(at);
     handle_arrivals_at(at);
@@ -192,8 +226,112 @@ bool ServiceLoop::step() {
     sim_.invalidate_allocation();
   }
   ++steps_;
-  wall_ms_ += wall.elapsed_ms();
+  const double ms = wall.elapsed_ms();
+  wall_ms_ += ms;
+  if (config_.telemetry.profile) {
+    record_phase_ms(is_tick ? "tick" : "arrival", ms);
+  }
   return true;
+}
+
+void ServiceLoop::telemetry_boundary() {
+  const TelemetryConfig& tc = config_.telemetry;
+  if (!tc.enabled()) return;
+  const SimTime now = sim_.now();
+  if (flightrec_ != nullptr && injector_ != nullptr) {
+    const faultsim::FaultSummary& s = injector_->summary();
+    if (s.events_fired > faults_seen_) {
+      faults_seen_ = s.events_fired;
+      flightrec_->record(obs::FlightKind::kFault, now, faults_seen_);
+    }
+    if (s.abandoned > abandons_seen_) {
+      abandons_seen_ = s.abandoned;
+      // Abandons are terminal data loss -- dump a post-mortem while the
+      // run continues.
+      note_error("flow abandoned (retry budget exhausted); total " +
+                 std::to_string(abandons_seen_));
+    }
+  }
+  if (tc.metrics_every > 0.0) {
+    const auto target =
+        static_cast<std::uint64_t>(std::floor(now / tc.metrics_every));
+    if (target > flush_index_) {
+      flush_index_ = target;
+      if (tc.profile) {
+        const ScopedTimer t;
+        flush_telemetry(now);
+        record_phase_ms("flush", t.elapsed_ms());
+      } else {
+        flush_telemetry(now);
+      }
+    }
+  }
+}
+
+void ServiceLoop::flush_telemetry(SimTime now) {
+  ++flushes_;
+  obs::MetricsRegistry& m = telemetry_;
+  // SLO gauges and deadline-at-risk latching ride the flush heartbeat:
+  // publishing them at every step boundary cost ~1-2% of the whole run and
+  // the values are only observable at flush time anyway. The window itself
+  // is a pure function of (completions, expiry time), so expiring here
+  // keeps the tracker state identical to an every-step cadence.
+  if (slo_ != nullptr) {
+    slo_->on_boundary(now, &telemetry_);
+    mark_deadline_risk(now);
+  }
+  m.counter("service.arrivals").set(journal_.size());
+  m.counter("service.admitted").set(admitted_);
+  m.counter("service.queued").set(queued_total_);
+  m.counter("service.rejected").set(rejected_);
+  m.counter("service.launched").set(jobs_.size());
+  m.counter("service.completed").set(completed_);
+  m.counter("service.steps").set(steps_);
+  m.counter("service.control_ticks").set(control_ticks_);
+  m.counter("service.flushes").set(flushes_);
+  m.gauge("service.admission_rate")
+      .set(journal_.empty() ? 1.0
+                            : static_cast<double>(admitted_) /
+                                  static_cast<double>(journal_.size()));
+  m.gauge("service.total_tardiness_s").set(registry_->total_tardiness());
+  m.series("service.queue_depth")
+      .sample(now, static_cast<double>(wait_queue_.size()));
+  m.series("service.running").sample(now, static_cast<double>(running_));
+  m.series("service.active_flows")
+      .sample(now, static_cast<double>(sim_.active_flow_count()));
+  sim_.link_utilization(link_util_scratch_);
+  if (link_series_.size() != link_util_scratch_.size()) {
+    link_series_.clear();
+    link_series_.reserve(link_util_scratch_.size());
+    for (std::size_t i = 0; i < link_util_scratch_.size(); ++i) {
+      link_series_.push_back(
+          &m.series("service.link." + std::to_string(i) + ".util"));
+    }
+  }
+  for (std::size_t i = 0; i < link_util_scratch_.size(); ++i) {
+    link_series_[i]->sample(now, link_util_scratch_[i]);
+  }
+  if (flightrec_ != nullptr) {
+    flightrec_->record(obs::FlightKind::kFlush, now, flush_index_, steps_);
+  }
+  if (outputs_.prom != nullptr) outputs_.prom->write(telemetry_.snapshot());
+  if (outputs_.chunk != nullptr) outputs_.chunk->flush();
+}
+
+void ServiceLoop::mark_deadline_risk(SimTime now) {
+  for (const SloObjective& obj : config_.telemetry.slo.objectives) {
+    if (obj.kind != SloKind::kJct) continue;
+    for (const auto& lj : jobs_) {
+      ServiceJobRecord& r = lj->record;
+      if (r.finished || r.deadline_at_risk) continue;
+      if (now - r.submitted > obj.threshold) {
+        r.deadline_at_risk = true;
+        ++at_risk_;
+      }
+    }
+  }
+  telemetry_.gauge("service.slo.deadline_at_risk")
+      .set(static_cast<double>(at_risk_));
 }
 
 void ServiceLoop::handle_arrivals_at(SimTime at) {
@@ -217,9 +355,16 @@ void ServiceLoop::handle_arrivals_at(SimTime at) {
 }
 
 void ServiceLoop::admit(Arrival arrival) {
-  const AdmissionOutcome outcome =
-      decide(config_.admission, running_, wait_queue_.size(),
-             registry_->total_tardiness());
+  AdmissionOutcome outcome;
+  if (config_.telemetry.profile) {
+    const ScopedTimer t;
+    outcome = decide(config_.admission, running_, wait_queue_.size(),
+                     registry_->total_tardiness());
+    record_phase_ms("admission", t.elapsed_ms());
+  } else {
+    outcome = decide(config_.admission, running_, wait_queue_.size(),
+                     registry_->total_tardiness());
+  }
   if (replay_expected_ != nullptr) {
     const std::size_t i = journal_.size();
     if (i >= replay_expected_->size() ||
@@ -234,6 +379,23 @@ void ServiceLoop::admit(Arrival arrival) {
     }
   }
   journal_.push_back(JournalEntry{outcome, arrival});
+  if (flightrec_ != nullptr) {
+    const std::uint64_t journal_index = journal_.size() - 1;
+    switch (outcome) {
+      case AdmissionOutcome::kAdmitted:
+        flightrec_->record(obs::FlightKind::kAdmit, arrival.at, journal_index,
+                           running_);
+        break;
+      case AdmissionOutcome::kQueued:
+        flightrec_->record(obs::FlightKind::kQueue, arrival.at, journal_index,
+                           wait_queue_.size() + 1);
+        break;
+      case AdmissionOutcome::kRejected:
+        flightrec_->record(obs::FlightKind::kReject, arrival.at,
+                           journal_index);
+        break;
+    }
+  }
   switch (outcome) {
     case AdmissionOutcome::kAdmitted:
       ++admitted_;
@@ -259,6 +421,7 @@ void ServiceLoop::launch_job(const cluster::JobSpec& spec, SimTime submitted,
                                 "fabric has " + std::to_string(H) + " hosts");
   }
 
+  const ScopedTimer launch_timer;
   auto lj = std::make_unique<LiveJob>();
   lj->spec = spec;
   lj->submitted = submitted;
@@ -288,8 +451,10 @@ void ServiceLoop::launch_job(const cluster::JobSpec& spec, SimTime submitted,
   }
   next_host_ = (next_host_ + consumed) % H;
 
+  lj->group_begin = registry_->size();
   lj->generated = cluster::generate_job_workflow(
       spec, placement, ps_host, ps_worker, *registry_, JobId{index});
+  lj->group_end = registry_->size();
   lj->engine = std::make_unique<netsim::WorkflowEngine>(
       &sim_, &lj->generated.workflow);
   lj->engine->on_complete = [this, index](netsim::Simulator&) {
@@ -314,6 +479,12 @@ void ServiceLoop::launch_job(const cluster::JobSpec& spec, SimTime submitted,
 
   jobs_.push_back(std::move(lj));
   ++running_;
+  if (flightrec_ != nullptr) {
+    flightrec_->record(obs::FlightKind::kLaunch, start, index, running_);
+  }
+  if (config_.telemetry.profile) {
+    record_phase_ms("launch", launch_timer.elapsed_ms());
+  }
 }
 
 void ServiceLoop::job_finished(std::size_t index) {
@@ -323,6 +494,32 @@ void ServiceLoop::job_finished(std::size_t index) {
   assert(running_ > 0);
   --running_;
   ++completed_;
+  if (config_.telemetry.enabled()) {
+    const SimTime now = sim_.now();
+    const double jct = lj.record.finish - lj.record.submitted;
+    const double queue_wait = lj.record.started - lj.record.submitted;
+    // Max tardiness over the job's complete groups (incomplete ones report
+    // -inf and are skipped; a fully-incomplete job samples 0).
+    double tardiness = 0.0;
+    bool any_group = false;
+    for (std::size_t g = lj.group_begin; g < lj.group_end; ++g) {
+      const ef::EchelonFlow& grp = registry_->get(EchelonFlowId{g});
+      if (!grp.complete()) continue;
+      tardiness =
+          any_group ? std::max(tardiness, grp.tardiness()) : grp.tardiness();
+      any_group = true;
+    }
+    telemetry_.histogram("service.jct_s").observe(jct);
+    telemetry_.histogram("service.queue_wait_s").observe(queue_wait);
+    telemetry_.histogram("service.job_tardiness_s").observe(tardiness);
+    if (slo_ != nullptr) {
+      const double values[kSloKindCount] = {jct, queue_wait, tardiness};
+      slo_->on_completion(now, values);
+    }
+    if (flightrec_ != nullptr) {
+      flightrec_->record(obs::FlightKind::kComplete, now, index, completed_);
+    }
+  }
   // Backfill freed slots from the wait queue, oldest first, launching at
   // the completion instant. This runs inside sim_.run() (the engine's
   // on_complete fires from the event loop), so the released root nodes join
@@ -363,6 +560,8 @@ ServiceResult ServiceLoop::result() const {
   r.completed = completed_;
   r.steps = steps_;
   r.control_ticks = control_ticks_;
+  r.deadline_at_risk = at_risk_;
+  r.telemetry_flushes = flushes_;
   r.wall_ms = wall_ms_;
   r.flow_finish.reserve(sim_.flow_count());
   for (std::size_t i = 0; i < sim_.flow_count(); ++i) {
@@ -400,6 +599,42 @@ void ServiceLoop::publish_metrics() const {
   for (const ef::EchelonFlow* g : registry_->all()) {
     if (g->complete()) tard.observe(g->tardiness());
   }
+}
+
+void ServiceLoop::attach_telemetry_outputs(TelemetryOutputs outputs) {
+  outputs_ = std::move(outputs);
+}
+
+void ServiceLoop::flush_now() {
+  if (!config_.telemetry.enabled()) return;
+  flush_telemetry(sim_.now());
+}
+
+void ServiceLoop::note_snapshot() {
+  if (flightrec_ == nullptr) return;
+  flightrec_->record(obs::FlightKind::kSnapshot, sim_.now(), steps_);
+}
+
+void ServiceLoop::note_error(std::string_view what) {
+  if (flightrec_ == nullptr) return;
+  flightrec_->record(obs::FlightKind::kError, sim_.now(), 0, 0,
+                     std::string(what));
+  if (!outputs_.flightrec_path.empty()) {
+    std::ofstream os(outputs_.flightrec_path,
+                     std::ios::binary | std::ios::trunc);
+    if (os) flightrec_->dump(os);
+  }
+}
+
+void ServiceLoop::dump_flight(std::ostream& os) const {
+  if (flightrec_ != nullptr) flightrec_->dump(os);
+}
+
+void ServiceLoop::record_phase_ms(std::string_view phase, double ms) {
+  if (!config_.telemetry.profile) return;
+  const std::string name = "service.profile." + std::string(phase) + "_ms";
+  profile_.histogram(name).observe(ms);
+  profile_.series(name).sample(sim_.now(), ms);
 }
 
 void ServiceLoop::begin_replay(const std::vector<JournalEntry>& expected) {

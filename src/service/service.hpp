@@ -30,15 +30,54 @@
 #include "faultsim/injector.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/workflow.hpp"
+#include "obs/expose.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "runtime/coordinator.hpp"
 #include "runtime/priority_queue.hpp"
 #include "service/admission.hpp"
 #include "service/arrivals.hpp"
+#include "service/slo.hpp"
 #include "topology/builders.hpp"
 
 namespace echelon::service {
+
+// Deterministic service-plane telemetry (DESIGN.md §15). Everything here
+// except `profile` is a pure function of simulated time, so it is part of
+// the snapshot wire format and a restored loop rebuilds identical
+// telemetry state by journal replay. Output *attachments* (file targets)
+// are per-process and live in TelemetryOutputs instead.
+struct TelemetryConfig {
+  // Interval between telemetry flushes in simulated seconds (0 = never).
+  // A flush renders service.* counters/gauges/series into the internal
+  // telemetry registry and, when outputs are attached, writes the
+  // Prometheus exposition and appends one trace chunk.
+  Duration metrics_every = 0.0;
+  // Retention cap per telemetry series (obs::Series decimation; 0 = off).
+  std::size_t series_budget = 0;
+  // Flight-recorder ring capacity (0 = recorder off).
+  std::size_t flightrec_capacity = 0;
+  SloConfig slo;  // no objectives = SLO tracking off
+  // Control-plane self-profiling (wall clock). Profile data lives in a
+  // separate registry, is never serialized and never appears in the
+  // Prometheus exposition, so enabling it cannot perturb determinism.
+  bool profile = false;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics_every > 0.0 || flightrec_capacity > 0 || slo.enabled() ||
+           profile;
+  }
+};
+
+// Per-process telemetry output attachments (never serialized; reattach
+// after snapshot restore via RestoreOptions).
+struct TelemetryOutputs {
+  obs::PromWriter* prom = nullptr;         // exposition file target
+  obs::TraceChunkWriter* chunk = nullptr;  // chunked trace, flushed per flush
+  std::string flightrec_path;  // post-mortem dump target ("" = none)
+};
 
 struct ServiceConfig {
   cluster::SchedulerKind scheduler = cluster::SchedulerKind::kEchelonMadd;
@@ -66,6 +105,10 @@ struct ServiceConfig {
   obs::TraceSink* trace_sink = nullptr;
   obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Service-plane telemetry (read-only over sim state; never affects
+  // results -- pinned by tests/test_service_telemetry.cpp).
+  TelemetryConfig telemetry;
 };
 
 // One consumed arrival plus the admission decision made for it. The journal
@@ -82,6 +125,9 @@ struct ServiceJobRecord {
   SimTime started = 0.0;    // launch instant (== submitted unless queued)
   SimTime finish = 0.0;     // workflow completion; 0 while running
   bool finished = false;
+  // Latched by the SLO tracker when the job outlives a kJct objective's
+  // threshold while still running (sticky; only set with SLO telemetry on).
+  bool deadline_at_risk = false;
 };
 
 struct ServiceResult {
@@ -99,6 +145,10 @@ struct ServiceResult {
   std::uint64_t completed = 0;
   std::uint64_t steps = 0;
   std::uint64_t control_ticks = 0;
+  // Jobs ever flagged deadline-at-risk (0 unless SLO telemetry is on).
+  std::uint64_t deadline_at_risk = 0;
+  // Telemetry flushes performed (0 with telemetry off).
+  std::uint64_t telemetry_flushes = 0;
   double wall_ms = 0.0;
 
   // Bitwise-comparable behavioural signature: every flow's completion time
@@ -201,6 +251,66 @@ class ServiceLoop {
     return last_arrival_at_;
   }
 
+  // --- service-plane telemetry (DESIGN.md §15) ---
+  // Attach per-process output targets (prom file, chunked trace stream,
+  // flight-recorder dump path). Telemetry *state* is config-driven and
+  // deterministic; outputs only render it, so attaching or omitting them
+  // never changes results.
+  void attach_telemetry_outputs(TelemetryOutputs outputs);
+  [[nodiscard]] const TelemetryOutputs& telemetry_outputs() const noexcept {
+    return outputs_;
+  }
+  // Deterministic telemetry registry state / its Prometheus exposition.
+  [[nodiscard]] obs::MetricsSnapshot telemetry_snapshot() const {
+    return telemetry_.snapshot();
+  }
+  [[nodiscard]] std::string prom_exposition() const {
+    return obs::to_prom_text(telemetry_.snapshot());
+  }
+  // Wall-clock self-profile (separate registry; empty unless
+  // telemetry.profile is set).
+  [[nodiscard]] obs::MetricsSnapshot profile_snapshot() const {
+    return profile_.snapshot();
+  }
+  [[nodiscard]] const SloTracker* slo() const noexcept { return slo_.get(); }
+  [[nodiscard]] const obs::FlightRecorder* flight() const noexcept {
+    return flightrec_.get();
+  }
+  [[nodiscard]] std::uint64_t telemetry_flushes() const noexcept {
+    return flushes_;
+  }
+  [[nodiscard]] std::uint64_t flush_index() const noexcept {
+    return flush_index_;
+  }
+  [[nodiscard]] std::uint64_t faults_seen() const noexcept {
+    return faults_seen_;
+  }
+  [[nodiscard]] std::uint64_t deadline_at_risk_count() const noexcept {
+    return at_risk_;
+  }
+  // Forces one telemetry flush at the current sim time (e.g. after drain()
+  // so the terminal exposition reflects end-of-run state). No-op when
+  // telemetry is disabled; deterministic like the periodic flushes.
+  void flush_now();
+  // Snapshot restore support: replay rebuilds every flight event except the
+  // kSnapshot markers earlier saves injected into the original ring, so
+  // restore overwrites the ring verbatim (snapshot.cpp kTelemetry section).
+  [[nodiscard]] obs::FlightRecorder* mutable_flight() noexcept {
+    return flightrec_.get();
+  }
+  // Records a snapshot-boundary marker in the flight ring. Call *after*
+  // saving, so the saved image (and hence a restored ring) matches an
+  // uninterrupted run that never snapshotted.
+  void note_snapshot();
+  // Records an error event and, when a flight dump path is attached, writes
+  // the post-mortem file. Called automatically when step() throws; public
+  // so drivers can report out-of-loop failures (e.g. SnapshotError).
+  void note_error(std::string_view what);
+  void dump_flight(std::ostream& os) const;
+  // Self-profiling hook for externally-timed phases (snapshot save in the
+  // CLI). No-op unless telemetry.profile is on.
+  void record_phase_ms(std::string_view phase, double ms);
+
   // Restore plumbing (snapshot.cpp only): journal replay with outcome
   // cross-checking, then reattachment of the live generator + observability.
   void begin_replay(const std::vector<JournalEntry>& expected);
@@ -216,10 +326,18 @@ class ServiceLoop {
     workload::GeneratedJob generated;
     std::unique_ptr<netsim::WorkflowEngine> engine;
     ServiceJobRecord record;
+    // EchelonFlow group id range [group_begin, group_end) this job created
+    // in the registry (tardiness attribution for SLO samples).
+    std::size_t group_begin = 0;
+    std::size_t group_end = 0;
   };
 
   void build_stack();
   void refill_pending();
+  bool step_impl();
+  void telemetry_boundary();
+  void flush_telemetry(SimTime now);
+  void mark_deadline_risk(SimTime now);
   void handle_arrivals_at(SimTime at);
   void admit(Arrival arrival);
   void launch_job(const cluster::JobSpec& spec, SimTime submitted,
@@ -261,6 +379,26 @@ class ServiceLoop {
   std::uint64_t last_launch_seq_ = 0;
   SimTime last_arrival_at_ = -kTimeInfinity;
   double wall_ms_ = 0.0;
+
+  // --- service-plane telemetry (DESIGN.md §15) ---
+  // Deterministic telemetry state: prom-exported registry, SLO tracker,
+  // flight ring. Rebuilt identically by snapshot journal replay.
+  obs::MetricsRegistry telemetry_;
+  // Wall-clock self-profile; kept OUT of telemetry_ so the exposition
+  // stays bit-reproducible. Never serialized.
+  obs::MetricsRegistry profile_;
+  std::unique_ptr<SloTracker> slo_;
+  std::unique_ptr<obs::FlightRecorder> flightrec_;
+  TelemetryOutputs outputs_;
+  std::uint64_t flush_index_ = 0;  // floor(now / metrics_every) at last flush
+  std::uint64_t flushes_ = 0;
+  std::uint64_t faults_seen_ = 0;     // injector events_fired already noted
+  std::uint64_t abandons_seen_ = 0;   // injector abandons already noted
+  std::uint64_t at_risk_ = 0;         // jobs latched deadline-at-risk
+  std::vector<double> link_util_scratch_;
+  // Cached per-link series handles (stable registry node addresses),
+  // resolved on the first flush so later flushes skip the name building.
+  std::vector<obs::Series*> link_series_;
 
   const std::vector<JournalEntry>* replay_expected_ = nullptr;
 };

@@ -1,0 +1,142 @@
+// Declarative SLO tracking for the service plane (DESIGN.md §15).
+//
+// An SloObjective states "at most `budget` fraction of jobs may violate
+// `kind` <= `threshold` over a rolling `window` of simulated time". The
+// tracker ingests one sample per completed job (JCT, queue wait, group
+// tardiness) from ServiceLoop::job_finished, maintains the rolling window
+// incrementally (a deque of samples plus per-objective violation
+// counters), and at every telemetry flush boundary publishes
+// per-objective gauges:
+//
+//   service.slo.<i>.violations    violating samples in the window
+//   service.slo.<i>.total        samples in the window
+//   service.slo.<i>.error_budget  remaining budget fraction in [−inf, 1]
+//   service.slo.<i>.burn_rate     observed violation rate / budgeted rate
+//
+// burn_rate > 1 means the objective is burning error budget faster than
+// allowed (the classic SRE multi-window burn-rate signal); error_budget
+// goes negative once the window has already blown the objective.
+//
+// Everything is a pure function of simulated time and sample values -- no
+// wall clock -- so runs are bit-reproducible and snapshot/restore can
+// rebuild the tracker exactly (the window contents are re-derived from
+// replayed completions; the verification image pins them).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace echelon::obs {
+class Gauge;
+class MetricsRegistry;
+}
+
+namespace echelon::service {
+
+enum class SloKind : std::uint8_t {
+  kJct = 0,        // job completion time: finish - submitted
+  kQueueWait,      // admission queue wait: started - submitted
+  kTardiness,      // max EchelonFlow group tardiness over the job's groups
+};
+inline constexpr int kSloKindCount = 3;
+
+[[nodiscard]] std::string_view to_string(SloKind kind) noexcept;
+
+struct SloObjective {
+  SloKind kind = SloKind::kJct;
+  double threshold = 0.0;  // seconds (tardiness may be negative-capable)
+  double budget = 0.0;     // allowed violating fraction in [0, 1]
+
+  [[nodiscard]] bool operator==(const SloObjective&) const = default;
+};
+
+struct SloConfig {
+  double window = 10.0;  // rolling window in simulated seconds
+  std::vector<SloObjective> objectives;
+
+  [[nodiscard]] bool enabled() const noexcept { return !objectives.empty(); }
+  [[nodiscard]] bool operator==(const SloConfig&) const = default;
+};
+
+// Parses "kind<=threshold@budget" specs, comma-separated, e.g.
+//   "jct<=5.0@0.1,queue_wait<=1.0@0.05,tardiness<=0.5@0.2"
+// Returns nullopt (with a message in *error when given) on bad input.
+[[nodiscard]] std::optional<std::vector<SloObjective>> parse_slo_spec(
+    std::string_view spec, std::string* error = nullptr);
+
+// Published gauge values for one objective (also queryable directly).
+struct SloGauges {
+  std::uint64_t violations = 0;  // in window
+  std::uint64_t total = 0;       // in window
+  double error_budget = 1.0;     // remaining fraction of allowed violations
+  double burn_rate = 0.0;        // violation rate / budgeted rate
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config);
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+
+  // One sample per completed job, in completion order. `values` indexed by
+  // SloKind. Monotone non-decreasing `t` expected (completion order).
+  void on_completion(SimTime t, const double (&values)[kSloKindCount]);
+
+  // Boundary hook (called at telemetry flush boundaries): expires samples
+  // older than t - window and publishes service.slo.* gauges into
+  // `registry` (skipped when null). The window after expiry is a pure
+  // function of the expiry time, so the call cadence never changes state.
+  void on_boundary(SimTime t, obs::MetricsRegistry* registry);
+
+  [[nodiscard]] SloGauges gauges(std::size_t objective) const;
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return window_.size();
+  }
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    return total_samples_;
+  }
+
+  // FNV-1a digest over window contents + violation counters, for the
+  // snapshot verification image.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+ private:
+  struct Sample {
+    SimTime t;
+    double values[kSloKindCount];
+  };
+
+  // Per-objective gauge handles into the publishing registry, resolved
+  // once: on_boundary runs at every step boundary, and rebuilding the
+  // dotted names there (4 lookups + ~5 string allocations per objective
+  // per step) dominated the telemetry-on overhead budget. MetricsRegistry
+  // hands out stable node addresses, so the pointers stay valid as long
+  // as the registry does; the cache rebuilds if a different registry is
+  // passed.
+  struct GaugeHandles {
+    obs::Gauge* violations = nullptr;
+    obs::Gauge* total = nullptr;
+    obs::Gauge* error_budget = nullptr;
+    obs::Gauge* burn_rate = nullptr;
+  };
+
+  void expire(SimTime t);
+  void bind_gauges(obs::MetricsRegistry* registry);
+
+  SloConfig config_;
+  std::deque<Sample> window_;
+  // Violating samples currently in the window, per objective.
+  std::vector<std::uint64_t> violations_;
+  std::uint64_t total_samples_ = 0;
+  std::vector<GaugeHandles> handles_;
+  obs::MetricsRegistry* bound_registry_ = nullptr;
+};
+
+}  // namespace echelon::service

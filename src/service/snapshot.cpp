@@ -21,6 +21,7 @@ enum : std::uint32_t {
   kGeneratorTag = 3,
   kServiceTag = 4,
   kVerifyTag = 5,
+  kTelemetryTag = 6,
   kEndTag = 0xFFFFFFFFu,
 };
 
@@ -407,6 +408,114 @@ void build_verify_image(const ServiceLoop& loop, ImageBuilder& img) {
   }
 }
 
+// Telemetry state (except the flight ring, below) is rebuilt by journal
+// replay -- it is a pure function of config + journal -- so this image pins
+// the rebuild bit-for-bit, including the exact Prometheus exposition bytes
+// a flush would produce.
+void build_telemetry_image(const ServiceLoop& loop, ImageBuilder& img) {
+  img.add("telemetry.flushes", loop.telemetry_flushes());
+  img.add("telemetry.flush_index", loop.flush_index());
+  img.add("telemetry.faults_seen", loop.faults_seen());
+  img.add("telemetry.deadline_at_risk", loop.deadline_at_risk_count());
+  const SloTracker* slo = loop.slo();
+  img.add("telemetry.slo.present", slo != nullptr ? 1 : 0);
+  img.add("telemetry.slo.digest", slo != nullptr ? slo->digest() : 0);
+  img.add("telemetry.flight.present", loop.flight() != nullptr ? 1 : 0);
+  const std::string prom = loop.prom_exposition();
+  img.add("telemetry.prom.size", prom.size());
+  img.add("telemetry.prom.digest", fnv1a(prom.data(), prom.size()));
+}
+
+// The flight ring is the one piece of telemetry state replay cannot
+// re-derive: earlier periodic saves injected kSnapshot markers into the
+// original run's ring, and replay (which never snapshots) would rebuild a
+// ring without them. It is serialized verbatim and restored by overwrite.
+void put_flight_ring(Writer& w, const obs::FlightRecorder* fr) {
+  w.u8(fr != nullptr ? 1 : 0);
+  if (fr == nullptr) return;
+  w.u64(fr->capacity());
+  w.u64(fr->recorded());
+  w.u32(static_cast<std::uint32_t>(obs::kFlightKindCount));
+  for (int k = 0; k < obs::kFlightKindCount; ++k) {
+    w.u64(fr->count(static_cast<obs::FlightKind>(k)));
+  }
+  const std::vector<obs::FlightEvent> events = fr->events();
+  w.u64(events.size());
+  for (const obs::FlightEvent& ev : events) {
+    w.u32(static_cast<std::uint32_t>(ev.kind));
+    w.f64(ev.t);
+    w.u64(ev.a);
+    w.u64(ev.b);
+    w.str(ev.note);
+  }
+  w.u64(fr->ring_digest());
+}
+
+void get_flight_ring(Reader& r, ServiceLoop& loop) {
+  const bool present = r.u8("telemetry.flight.present") != 0;
+  obs::FlightRecorder* fr = loop.mutable_flight();
+  if (!present) {
+    if (fr != nullptr) {
+      throw SnapshotError(
+          "snapshot telemetry: restored loop has a flight recorder but the "
+          "snapshot recorded none");
+    }
+    return;
+  }
+  if (fr == nullptr) {
+    throw SnapshotError(
+        "snapshot telemetry: snapshot carries a flight ring but the "
+        "restored loop has no recorder");
+  }
+  const std::uint64_t capacity = r.u64("telemetry.flight.capacity");
+  if (capacity != fr->capacity()) {
+    throw SnapshotError("snapshot telemetry: flight ring capacity " +
+                        std::to_string(capacity) +
+                        " does not match the configured " +
+                        std::to_string(fr->capacity()));
+  }
+  const std::uint64_t recorded = r.u64("telemetry.flight.recorded");
+  const std::uint32_t kind_count = r.u32("telemetry.flight.kind_count");
+  if (kind_count != static_cast<std::uint32_t>(obs::kFlightKindCount)) {
+    throw SnapshotError("snapshot telemetry: flight ring has " +
+                        std::to_string(kind_count) + " event kinds, built " +
+                        std::to_string(obs::kFlightKindCount));
+  }
+  std::vector<std::uint64_t> counts;
+  for (std::uint32_t k = 0; k < kind_count; ++k) {
+    counts.push_back(r.u64("telemetry.flight.count"));
+  }
+  const std::uint64_t n = r.u64("telemetry.flight.event_count");
+  if (n > capacity) {
+    throw SnapshotError("snapshot telemetry: flight ring holds " +
+                        std::to_string(n) + " events, more than capacity " +
+                        std::to_string(capacity));
+  }
+  std::vector<obs::FlightEvent> events;
+  events.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::FlightEvent ev;
+    const std::uint32_t kind = r.u32("telemetry.flight.kind");
+    if (kind >= static_cast<std::uint32_t>(obs::kFlightKindCount)) {
+      throw SnapshotError("snapshot telemetry: flight event kind " +
+                          std::to_string(kind) + " is out of range");
+    }
+    ev.kind = static_cast<obs::FlightKind>(kind);
+    ev.t = r.f64("telemetry.flight.t");
+    ev.a = r.u64("telemetry.flight.a");
+    ev.b = r.u64("telemetry.flight.b");
+    ev.note = r.str("telemetry.flight.note");
+    events.push_back(std::move(ev));
+  }
+  const std::uint64_t digest = r.u64("telemetry.flight.digest");
+  fr->restore(recorded, counts, std::move(events));
+  if (fr->ring_digest() != digest) {
+    throw SnapshotError(
+        "snapshot telemetry: restored flight ring digest mismatch -- the "
+        "serialized ring did not round-trip");
+  }
+}
+
 void put_image(Writer& w, const ImageBuilder& img) {
   w.u64(img.fields.size());
   for (const auto& [name, bits] : img.fields) {
@@ -415,28 +524,29 @@ void put_image(Writer& w, const ImageBuilder& img) {
   }
 }
 
-// Compares the saved image against the restored loop's recomputed one.
-void verify_image(Reader& r, const ServiceLoop& loop) {
-  ImageBuilder fresh;
-  build_verify_image(loop, fresh);
+// Compares a saved image against the restored loop's recomputed one.
+void verify_image(Reader& r, const ImageBuilder& fresh, const char* what) {
   const std::uint64_t saved_count = r.u64("verify.field_count");
   if (saved_count != fresh.fields.size()) {
-    throw SnapshotError(
-        "snapshot verify: image has " + std::to_string(saved_count) +
-        " fields, restored state has " + std::to_string(fresh.fields.size()));
+    throw SnapshotError("snapshot " + std::string(what) + ": image has " +
+                        std::to_string(saved_count) +
+                        " fields, restored state has " +
+                        std::to_string(fresh.fields.size()));
   }
   for (std::uint64_t i = 0; i < saved_count; ++i) {
     const std::string name = r.str("verify.field_name");
     const std::uint64_t bits = r.u64("verify.field_bits");
     const auto& [fresh_name, fresh_bits] = fresh.fields[i];
     if (name != fresh_name) {
-      throw SnapshotError("snapshot verify: field " + std::to_string(i) +
-                          " is '" + name + "' in the image but '" +
-                          fresh_name + "' in the restored state");
+      throw SnapshotError("snapshot " + std::string(what) + ": field " +
+                          std::to_string(i) + " is '" + name +
+                          "' in the image but '" + fresh_name +
+                          "' in the restored state");
     }
     if (bits != fresh_bits) {
       throw SnapshotError(
-          "snapshot verify: '" + name + "' mismatch: saved 0x" +
+          "snapshot " + std::string(what) + ": '" + name +
+          "' mismatch: saved 0x" +
           [](std::uint64_t v) {
             std::ostringstream os;
             os << std::hex << v;
@@ -451,7 +561,6 @@ void verify_image(Reader& r, const ServiceLoop& loop) {
           " -- restored run diverged from the checkpointed one");
     }
   }
-  r.expect_exhausted("verify image");
 }
 
 // ---------------------------------------------------------------------------
@@ -589,6 +698,18 @@ std::string save_snapshot(const ServiceLoop& loop) {
     w.f64(c.admission.tardiness_limit);
     w.str(c.fault_plan != nullptr ? faultsim::serialize(*c.fault_plan)
                                   : std::string{});
+    const TelemetryConfig& tc = c.telemetry;
+    w.f64(tc.metrics_every);
+    w.u64(tc.series_budget);
+    w.u64(tc.flightrec_capacity);
+    w.u8(tc.profile ? 1 : 0);
+    w.f64(tc.slo.window);
+    w.u32(static_cast<std::uint32_t>(tc.slo.objectives.size()));
+    for (const SloObjective& o : tc.slo.objectives) {
+      w.u32(static_cast<std::uint32_t>(o.kind));
+      w.f64(o.threshold);
+      w.f64(o.budget);
+    }
     put_section(out, kConfigTag, w.take());
   }
   {
@@ -620,6 +741,14 @@ std::string save_snapshot(const ServiceLoop& loop) {
     build_verify_image(loop, img);
     put_image(w, img);
     put_section(out, kVerifyTag, w.take());
+  }
+  {
+    Writer w;
+    ImageBuilder img;
+    build_telemetry_image(loop, img);
+    put_image(w, img);
+    put_flight_ring(w, loop.flight());
+    put_section(out, kTelemetryTag, w.take());
   }
 
   out.u32(kEndTag);
@@ -758,6 +887,26 @@ std::unique_ptr<ServiceLoop> restore_snapshot(const std::string& bytes,
     config.admission.tardiness_limit =
         c.f64("config.admission.tardiness_limit");
     const std::string plan_text = c.str("config.fault_plan");
+    config.telemetry.metrics_every = c.f64("config.telemetry.metrics_every");
+    config.telemetry.series_budget = c.u64("config.telemetry.series_budget");
+    config.telemetry.flightrec_capacity =
+        c.u64("config.telemetry.flightrec_capacity");
+    config.telemetry.profile = c.u8("config.telemetry.profile") != 0;
+    config.telemetry.slo.window = c.f64("config.telemetry.slo.window");
+    const std::uint32_t slo_count =
+        c.u32("config.telemetry.slo.objective_count");
+    for (std::uint32_t i = 0; i < slo_count; ++i) {
+      SloObjective o;
+      const std::uint32_t kind = c.u32("config.telemetry.slo.kind");
+      if (kind >= static_cast<std::uint32_t>(kSloKindCount)) {
+        throw SnapshotError("snapshot: SLO objective kind " +
+                            std::to_string(kind) + " is out of range");
+      }
+      o.kind = static_cast<SloKind>(kind);
+      o.threshold = c.f64("config.telemetry.slo.threshold");
+      o.budget = c.f64("config.telemetry.slo.budget");
+      config.telemetry.slo.objectives.push_back(o);
+    }
     c.expect_exhausted("config section");
     if (!plan_text.empty()) {
       try {
@@ -849,7 +998,24 @@ std::unique_ptr<ServiceLoop> restore_snapshot(const std::string& bytes,
   {
     const std::string payload = open_section(kVerifyTag, "verify");
     Reader v(payload.data(), payload.size(), "verify");
-    verify_image(v, *loop);
+    ImageBuilder fresh;
+    build_verify_image(*loop, fresh);
+    verify_image(v, fresh, "verify");
+    v.expect_exhausted("verify image");
+  }
+
+  // kTelemetry: the replay rebuilt the telemetry state from config +
+  // journal; pin it (flush counters, SLO window, exposition bytes) against
+  // what the checkpointed run held, then restore the flight ring verbatim
+  // (replay cannot reproduce earlier saves' kSnapshot markers).
+  {
+    const std::string payload = open_section(kTelemetryTag, "telemetry");
+    Reader t(payload.data(), payload.size(), "telemetry");
+    ImageBuilder fresh;
+    build_telemetry_image(*loop, fresh);
+    verify_image(t, fresh, "telemetry");
+    get_flight_ring(t, *loop);
+    t.expect_exhausted("telemetry section");
   }
 
   const std::uint32_t end_tag = r.u32("end tag");
@@ -862,6 +1028,7 @@ std::unique_ptr<ServiceLoop> restore_snapshot(const std::string& bytes,
   loop->end_replay(std::move(generator.gen), std::move(generator.pending));
   loop->attach_observability(options.trace_sink, options.trace_detail,
                              options.metrics);
+  loop->attach_telemetry_outputs(options.telemetry);
   return loop;
 }
 

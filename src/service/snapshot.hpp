@@ -20,11 +20,18 @@
 //   version u32      kSnapshotVersion (readers reject anything else)
 //   sections, each {tag u32, length u64, payload}:
 //     1 kConfig     ServiceConfig incl. the fault plan's text serialization
+//                   and the TelemetryConfig (v2: metrics_every, series
+//                   budget, flight-recorder capacity, SLO objectives)
 //     2 kArrivals   journal: count, then {outcome u8, at f64, JobSpec}
 //     3 kGenerator  generator kind + progress (Poisson RNG words / trace
 //                   file cursor) + the fetched-but-unconsumed arrival
 //     4 kService    step counter, tick index, journal length, clocks
 //     5 kVerify     named scalar image + per-flow records (see .cpp)
+//     6 kTelemetry  (v2) named scalar image over the telemetry state:
+//                   flush counters, SLO window digest, flight-ring digest,
+//                   Prometheus exposition digest. Telemetry *state* is
+//                   config-driven, so journal replay rebuilds it; this
+//                   section verifies the rebuild bit-for-bit.
 //   end tag u32      0xFFFFFFFF
 //   checksum u64     FNV-1a over every preceding byte
 //
@@ -49,7 +56,8 @@ namespace echelon::service {
 
 inline constexpr char kSnapshotMagic[8] = {'E', 'C', 'H', 'S', 'N', 'A', 'P',
                                            '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: TelemetryConfig in kConfig + the kTelemetry verification section.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 // Thrown on any malformed, truncated, corrupt, or divergent snapshot. The
 // message always names what failed and where.
@@ -69,6 +77,10 @@ struct RestoreOptions {
   obs::TraceSink* trace_sink = nullptr;
   obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
   obs::MetricsRegistry* metrics = nullptr;
+  // Telemetry output targets to reattach (telemetry *state* -- SLO window,
+  // flight ring, flush counters -- is rebuilt by replay and verified
+  // against the kTelemetry section; outputs are per-process).
+  TelemetryOutputs telemetry;
 };
 
 // Rebuilds a ServiceLoop from snapshot bytes. Throws SnapshotError on any

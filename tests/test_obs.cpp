@@ -28,6 +28,7 @@
 #include "equivalence_harness.hpp"
 #include "faultsim/fault_plan.hpp"
 #include "obs/export.hpp"
+#include "obs/expose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
@@ -477,6 +478,154 @@ TEST(ExportTest, MetricsCsvHasOneRowPerScalarAndBucket) {
   // counter 1 + gauge 1 + histogram (count/sum/mean/min/p50/p90/p99/max = 8
   // rows + 2 buckets) + series 1 point.
   EXPECT_EQ(csv.row_count(), 1u + 1u + 8u + 2u + 1u);
+}
+
+// ============================================================================
+// Exporter edge cases (DESIGN.md §15)
+// ============================================================================
+
+TEST(ExportTest, EmptyRegistryProducesWellFormedOutputs) {
+  obs::MetricsRegistry reg;
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(obs::metrics_to_csv(snap).row_count(), 0u);
+  std::ostringstream summary;
+  obs::print_metrics_summary(summary, snap);  // must not throw or crash
+  EXPECT_EQ(obs::to_prom_text(snap), "");
+}
+
+TEST(ExportTest, HistogramBucketEdgeValuesAreLeInclusive) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("h", {1.0, 2.0});
+  h.observe(1.0);                             // exactly on the first bound
+  h.observe(2.0);                             // exactly on the second
+  h.observe(std::nextafter(2.0, 3.0));        // one ulp past -> tail
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto* hist = snap.find_histogram("h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->counts[0], 1u);
+  EXPECT_EQ(hist->counts[1], 1u);
+  EXPECT_EQ(hist->counts[2], 1u);
+  // Prometheus buckets are cumulative `le` counts; the edge values must
+  // be *inside* their own bound's bucket.
+  const std::string text = obs::to_prom_text(snap);
+  EXPECT_NE(text.find("h_bucket{le=\"1\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("h_bucket{le=\"2\"} 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("h_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("h_count 3\n"), std::string::npos) << text;
+}
+
+TEST(ExportTest, PromNameSplittingAndTypeLines) {
+  std::string family;
+  std::string labels;
+  obs::prom_split_name("link.3.util", family, labels);
+  EXPECT_EQ(family, "link_util");
+  EXPECT_EQ(labels, "link=\"3\"");
+  obs::prom_split_name("service.slo.2.burn_rate", family, labels);
+  EXPECT_EQ(labels, "slo=\"2\"");
+
+  obs::MetricsRegistry reg;
+  reg.counter("service.admitted").inc(4);
+  reg.gauge("link.3.util").set(0.5);
+  reg.gauge("link.10.util").set(0.25);
+  const std::string text = obs::to_prom_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE service_admitted_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_admitted_total 4\n"), std::string::npos);
+  EXPECT_NE(text.find("link_util{link=\"10\"} 0.25\n"), std::string::npos);
+  EXPECT_NE(text.find("link_util{link=\"3\"} 0.5\n"), std::string::npos);
+  // Byte-stable: rendering the same snapshot twice is identical.
+  EXPECT_EQ(text, obs::to_prom_text(reg.snapshot()));
+}
+
+TEST(ExportTest, LabelInternerStaysStablePast256Ids) {
+  obs::LabelInterner interner;
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 300; ++i) {
+    reg.gauge("link." + std::to_string(i) + ".util")
+        .set(static_cast<double>(i));
+  }
+  const std::string first = obs::to_prom_text(reg.snapshot(), &interner);
+  EXPECT_GE(interner.size(), 300u);
+  // Ids are first-seen stable: a second render interns nothing new and
+  // produces identical bytes.
+  const std::size_t after_first = interner.size();
+  const std::string second = obs::to_prom_text(reg.snapshot(), &interner);
+  EXPECT_EQ(interner.size(), after_first);
+  EXPECT_EQ(first, second);
+  for (std::uint32_t id = 0; id < 300u; ++id) {
+    EXPECT_EQ(interner.intern(interner.label_at(id)), id);
+  }
+}
+
+TEST(ExportTest, MixedInstrumentKindsOnOneFamilyThrow) {
+  // Counters are disambiguated by their `_total` suffix, so the reachable
+  // collision is a gauge and a histogram landing on the same family name.
+  obs::MetricsRegistry reg;
+  reg.gauge("x.1.n").set(1.0);
+  reg.histogram("x.2.n", {1.0}).observe(0.5);  // family "x_n" again
+  EXPECT_THROW((void)obs::to_prom_text(reg.snapshot()),
+               std::invalid_argument);
+}
+
+TEST(PerfettoTest, ZeroEventTraceRoundTrips) {
+  const obs::TraceRecorder empty;
+  std::ostringstream os;
+  obs::write_perfetto_trace(os, empty);
+  std::istringstream in(os.str());
+  const obs::ParsedTrace parsed = obs::parse_trace_event_json(in);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.count_ph("X"), 0u);
+  EXPECT_EQ(parsed.count_ph("i"), 0u);
+}
+
+TEST(MetricsTest, SeriesBudgetDecimatesButAgreesOnKeptPoints) {
+  obs::MetricsRegistry capped;
+  capped.set_series_budget(16);
+  obs::MetricsRegistry uncapped;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = 0.001 * i;
+    const double v = std::sin(0.01 * i);
+    capped.series("s").sample(t, v);
+    uncapped.series("s").sample(t, v);
+  }
+  const obs::MetricsSnapshot capped_snap = capped.snapshot();
+  const obs::MetricsSnapshot uncapped_snap = uncapped.snapshot();
+  const auto* cs = capped_snap.find_series("s");
+  const auto* us = uncapped_snap.find_series("s");
+  ASSERT_NE(cs, nullptr);
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->points.size(), 1000u);
+  EXPECT_LE(cs->points.size(), 16u);
+  EXPECT_GE(cs->points.size(), 2u);
+  // Every kept point is an exact member of the uncapped sequence, and the
+  // kept offsets are stride-regular.
+  const std::size_t stride = capped.series("s").stride();
+  EXPECT_GE(stride, 1000u / 16u);
+  for (std::size_t i = 0; i < cs->points.size(); ++i) {
+    const auto& kept = cs->points[i];
+    const auto& orig = us->points[i * stride];
+    EXPECT_EQ(kept.first, orig.first) << "point " << i;
+    EXPECT_EQ(kept.second, orig.second) << "point " << i;
+  }
+}
+
+TEST(MetricsTest, MergeSnapshotsThrowsOnMismatchedHistogramBounds) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  b.histogram("h", {1.0, 2.0, 3.0}).observe(0.5);
+  const std::vector<obs::MetricsSnapshot> snaps = {a.snapshot(),
+                                                   b.snapshot()};
+  try {
+    (void)obs::merge_snapshots(snaps);
+    FAIL() << "mismatched bucket layouts must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("h"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bucket"), std::string::npos);
+  }
 }
 
 }  // namespace

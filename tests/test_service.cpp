@@ -494,7 +494,7 @@ TEST_F(CorruptSnapshotTest, HeaderAndVersionMutationsFailTheirOwnChecks) {
   }
   {
     std::string m = bytes_;
-    m[8] = 2;  // version (little-endian u32 after the 8-byte magic)
+    m[8] = 99;  // version (little-endian u32 after the 8-byte magic)
     EXPECT_NE(expect_snapshot_error(restamp(m)).find("version"),
               std::string::npos);
   }

@@ -60,6 +60,18 @@ save/restore paths. Their cost tracks the service-mode control-plane
 tiers, not raw machine speed, so they follow the route/churn rule:
 calibration-excluded, gated normally.
 
+Telemetry family (bench_telemetry, EXPERIMENTS.md EXT-T): benchmarks whose
+name carries a "tel:" argument exercise the service-plane telemetry path
+(DESIGN.md §15) -- flush rendering, flight-recorder appends, and the
+telemetry-on/off service-loop pair. Calibration-excluded, gated normally,
+plus one extra *same-run* gate: any fresh benchmark exporting a
+"telemetry_overhead_ratio" counter (BM_TelemetryOverheadPair interleaves a
+telemetry-off and a telemetry-on drain of the same job stream inside each
+iteration, so machine drift cancels) must stay within
+--overhead-tolerance (default 2%). The ratio is measured on one machine
+inside one process, so no baseline or calibration is involved -- this is
+the "telemetry costs <= 2 percent" acceptance gate.
+
 Usage:
   bench_allocator         --benchmark_out=alloc.json --benchmark_out_format=json
   bench_coordinator_scale --benchmark_out=coord.json --benchmark_out_format=json
@@ -93,6 +105,13 @@ CHURN_FAMILY_TAG = "churn:"
 # family: calibration-excluded but gated normally (see module docstring).
 SERVICE_FAMILY_TAG = "svc:"
 
+# Benchmark names carrying this argument tag belong to the telemetry
+# family: calibration-excluded, gated normally. Benchmarks exporting this
+# counter are additionally subject to the same-run telemetry-on/off
+# overhead gate (see module docstring).
+TEL_FAMILY_TAG = "tel:"
+TEL_OVERHEAD_COUNTER = "telemetry_overhead_ratio"
+
 # Baseline-run context marker: the recording host had a single CPU, so its
 # thread-scaling numbers are degenerate and never gated.
 SINGLE_CORE_MARKER = "single_core_host"
@@ -112,6 +131,33 @@ def is_churn_family(name):
 
 def is_service_family(name):
     return SERVICE_FAMILY_TAG in name
+
+
+def is_tel_family(name):
+    return TEL_FAMILY_TAG in name
+
+
+def check_telemetry_overhead(overhead_ratios, tolerance_pct):
+    """Same-run telemetry-on/off ratios exceeding the overhead tolerance.
+
+    `overhead_ratios` maps benchmark name -> list of exported
+    telemetry_overhead_ratio counters, one per repetition (on/off
+    wall-clock, interleaved inside one process). The gate applies to the
+    per-name median so --benchmark_repetitions runs are robust to a single
+    noisy repetition. Returns a list of (name, median ratio) failures; runs
+    without the counter degrade to no-op rather than error.
+    """
+    limit = 1.0 + tolerance_pct / 100.0
+    failures = []
+    for name, ratios in sorted(overhead_ratios.items()):
+        ratio = statistics.median(ratios)
+        status = "ok"
+        if ratio > limit:
+            status = f"OVER BUDGET {100.0 * (ratio - 1.0):+.2f}%"
+            failures.append((name, ratio))
+        print(f"  telemetry overhead {name:<40} on/off x{ratio:.4f} "
+              f"(median of {len(ratios)})  {status}")
+    return failures
 
 
 def load_baseline(path):
@@ -141,10 +187,12 @@ def load_baseline(path):
 
 
 def load_fresh(paths, require_metrics_context):
-    """(name -> fresh real_time ns, name -> run hardware concurrency)
-    across all given benchmark JSON files."""
+    """(name -> fresh real_time ns, name -> run hardware concurrency,
+    name -> per-repetition telemetry_overhead_ratio counters) across all
+    given benchmark JSON files."""
     times = {}
     hw = {}
+    overhead = {}
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
@@ -161,7 +209,10 @@ def load_fresh(paths, require_metrics_context):
             times[b["name"]] = float(b["real_time"])
             if run_hw is not None:
                 hw[b["name"]] = str(run_hw)
-    return times, hw
+            if TEL_OVERHEAD_COUNTER in b:
+                overhead.setdefault(b["name"], []).append(
+                    float(b[TEL_OVERHEAD_COUNTER]))
+    return times, hw, overhead
 
 
 def main():
@@ -184,12 +235,20 @@ def main():
         action="store_true",
         help="fail if a fresh run lacks the echelon_metrics context blob",
     )
+    ap.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=2.0,
+        help="max telemetry-on vs telemetry-off overhead in percent, gated "
+        "within the fresh run on same-run tel:1/tel:0 pairs (default 2)",
+    )
     args = ap.parse_args()
 
     try:
         baseline, baseline_hw, baseline_single_core = load_baseline(
             args.baseline)
-        fresh, fresh_hw = load_fresh(args.fresh, args.require_metrics_context)
+        fresh, fresh_hw, fresh_overhead = load_fresh(
+            args.fresh, args.require_metrics_context)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -205,7 +264,8 @@ def main():
     # benchmarks only (falling back to everything if nothing else ran).
     calib_pool = [r for n, r in ratios.items()
                   if not is_thread_family(n) and not is_route_family(n)
-                  and not is_churn_family(n) and not is_service_family(n)]
+                  and not is_churn_family(n) and not is_service_family(n)
+                  and not is_tel_family(n)]
     if not calib_pool:
         calib_pool = list(ratios.values())
     calibration = 1.0 if args.no_normalize else statistics.median(calib_pool)
@@ -213,8 +273,8 @@ def main():
 
     print(f"baseline: {args.baseline} ({len(common)} comparable benchmarks)")
     calib_kind = ("raw" if args.no_normalize
-                  else "median fresh/baseline, thread/route/churn/service "
-                  "families excluded")
+                  else "median fresh/baseline, thread/route/churn/service/"
+                  "telemetry families excluded")
     print(f"machine-speed calibration: x{calibration:.3f} ({calib_kind})")
     failures = []
     shape_skipped = []
@@ -242,6 +302,9 @@ def main():
         print(f"  {name:<40} base {baseline[name]:>12.0f} ns  "
               f"fresh {fresh[name]:>12.0f} ns  norm x{norm:.3f}  {status}")
 
+    overhead_failures = check_telemetry_overhead(
+        fresh_overhead, args.overhead_tolerance)
+
     missing = sorted(set(baseline) - set(fresh))
     if missing:
         print(f"note: {len(missing)} baseline benchmarks not in this run "
@@ -251,14 +314,22 @@ def main():
               "skipped: single-core baseline recording or machine shape "
               "differs from the baseline's")
 
+    if overhead_failures:
+        print(f"\nFAIL: {len(overhead_failures)} telemetry pair(s) over the "
+              f"{args.overhead_tolerance}% on/off overhead budget:",
+              file=sys.stderr)
+        for name, ratio in overhead_failures:
+            print(f"  {name}: x{ratio:.4f}", file=sys.stderr)
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
               f"{args.tolerance}% with observability disabled:",
               file=sys.stderr)
         for name in failures:
             print(f"  {name}", file=sys.stderr)
+    if failures or overhead_failures:
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.tolerance}%")
+    print(f"\nOK: no benchmark regressed more than {args.tolerance}% and "
+          "every telemetry pair stayed within the overhead budget")
     return 0
 
 

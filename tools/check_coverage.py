@@ -33,6 +33,9 @@ import tempfile
 FLOORS = {
     "src/service": 82.0,
     "src/netsim": 80.0,
+    # Telemetry/exporter layer (DESIGN.md §15): driven by test_obs and
+    # tests/test_service_telemetry.cpp.
+    "src/obs": 80.0,
 }
 
 FILE_RE = re.compile(r"^File '(?P<path>[^']+)'")

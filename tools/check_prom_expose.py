@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Structural validator for the Prometheus text exposition the service loop
+writes (obs::to_prom_text via --prom-out; DESIGN.md §15).
+
+Checks, per file:
+
+  1. Text-format shape: every non-comment line is `name[{labels}] value`
+     with a metric name matching the Prometheus grammar and a value that
+     parses as a float (inf/NaN never appear -- the emitter uses %.17g over
+     finite doubles).
+  2. TYPE discipline: every family carries exactly one `# TYPE family
+     {counter|gauge|histogram}` line, emitted before the family's first
+     sample; counter families end in `_total`; no family is declared twice.
+  3. Histogram completeness: each histogram emits cumulative `_bucket`
+     lines with monotonically non-decreasing counts, a terminal
+     `le="+Inf"` bucket, and `_sum`/`_count` lines where `_count` equals
+     the +Inf bucket.
+  4. Ordering stability: family blocks appear in sorted order and label
+     lines within a family are sorted, so two expositions of the same
+     registry are byte-identical -- CI runs the serve leg twice and also
+     diffs the files, but the sortedness check catches nondeterminism even
+     in a single artifact.
+
+Usage:
+  python3 tools/check_prom_expose.py prom.txt [prom2.txt ...]
+
+Exit status: 0 = every file well-formed, 1 = a check failed, 2 = usage/IO
+error. An empty file is valid (an empty registry renders to "").
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<family>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram)$"
+)
+
+
+def base_family(name):
+    """Metric name -> its TYPE-declared family (histogram series collapse)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    """Returns a list of error strings for one exposition file."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"{path}: {e}"]
+
+    types = {}          # family -> kind
+    family_order = []   # TYPE declaration order
+    samples = {}        # family -> [(name, labels, float value)]
+    current = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{path}:{lineno}"
+        if not line:
+            errors.append(f"{where}: blank line inside exposition")
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            family = m.group("family")
+            if family in types:
+                errors.append(f"{where}: duplicate TYPE for '{family}'")
+            types[family] = m.group("kind")
+            family_order.append(family)
+            current = family
+            continue
+        if line.startswith("#"):
+            errors.append(f"{where}: unexpected comment line {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name = m.group("name")
+        family = base_family(name)
+        if family not in types:
+            errors.append(f"{where}: sample '{name}' before its TYPE line")
+            continue
+        if family != current:
+            errors.append(
+                f"{where}: sample '{name}' outside its family block "
+                f"(current family is '{current}')"
+            )
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"{where}: bad value {m.group('value')!r}")
+            continue
+        if value != value or value in (float("inf"), float("-inf")):
+            errors.append(f"{where}: non-finite value {m.group('value')!r}")
+        kind = types[family]
+        if kind == "histogram" and name == family:
+            errors.append(
+                f"{where}: bare histogram sample '{name}' (expected "
+                "_bucket/_sum/_count)"
+            )
+        if kind != "histogram" and name != family:
+            errors.append(
+                f"{where}: histogram-style sample '{name}' under "
+                f"{kind} family '{family}'"
+            )
+        samples.setdefault(family, []).append(
+            (name, m.group("labels") or "", value)
+        )
+
+    for family, kind in types.items():
+        if kind == "counter" and not family.endswith("_total"):
+            errors.append(f"{path}: counter family '{family}' "
+                          "missing the _total suffix")
+        rows = samples.get(family, [])
+        if not rows:
+            errors.append(f"{path}: TYPE '{family}' declared "
+                          "but no samples follow")
+            continue
+        if kind == "histogram":
+            errors.extend(check_histogram(path, family, rows))
+        else:
+            label_rows = [labels for name, labels, _ in rows]
+            if label_rows != sorted(label_rows):
+                errors.append(f"{path}: family '{family}' label rows not "
+                              "sorted (unstable ordering)")
+
+    if family_order != sorted(family_order):
+        errors.append(f"{path}: family blocks not in sorted order "
+                      "(unstable ordering)")
+    return errors
+
+
+def check_histogram(path, family, rows):
+    errors = []
+    buckets = []
+    sum_seen = count_value = None
+    for name, labels, value in rows:
+        if name == family + "_bucket":
+            m = re.match(r'^le="([^"]*)"$', labels)
+            if m is None:
+                errors.append(f"{path}: histogram '{family}' bucket with "
+                              f"bad labels {labels!r}")
+                continue
+            buckets.append((m.group(1), value))
+        elif name == family + "_sum":
+            sum_seen = value
+        elif name == family + "_count":
+            count_value = value
+    if not buckets or buckets[-1][0] != "+Inf":
+        errors.append(f"{path}: histogram '{family}' missing terminal "
+                      '+Inf bucket')
+        return errors
+    counts = [v for _, v in buckets]
+    if any(b > a for b, a in zip(counts, counts[1:])):
+        errors.append(f"{path}: histogram '{family}' cumulative bucket "
+                      "counts decrease")
+    bounds = []
+    for le, _ in buckets[:-1]:
+        try:
+            bounds.append(float(le))
+        except ValueError:
+            errors.append(f"{path}: histogram '{family}' non-numeric "
+                          f"bound le={le!r}")
+            return errors
+    if bounds != sorted(bounds):
+        errors.append(f"{path}: histogram '{family}' bucket bounds not "
+                      "ascending")
+    if sum_seen is None or count_value is None:
+        errors.append(f"{path}: histogram '{family}' missing _sum or "
+                      "_count")
+    elif count_value != counts[-1]:
+        errors.append(f"{path}: histogram '{family}' _count "
+                      f"{count_value} != +Inf bucket {counts[-1]}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"error: {e}", file=sys.stderr)
+        else:
+            print(f"ok: {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -71,6 +71,33 @@
 //                       (scheduler/admission/arrival flags come from the
 //                       snapshot; only observability flags apply)
 //
+// `serve` telemetry options (DESIGN.md §15; deterministic in sim time, and
+// results are bit-identical with all of these on or off):
+//   --prom-out PATH     Prometheus text exposition, rewritten atomically at
+//                       every flush boundary (tmp file + rename)
+//   --prom-rotate N     keep N rotated copies (PATH.1 .. PATH.N)
+//   --metrics-every T   flush period in *simulated* seconds (default 0 = off;
+//                       defaults to 0.1 when --prom-out/--trace-chunk-out is
+//                       given without it)
+//   --slo SPEC          SLO objectives, e.g. "jct<=2.0@0.1,tardiness<=1@0.05"
+//                       (kind<=threshold@error_budget, kinds jct|queue_wait|
+//                       tardiness); publishes service.slo.* burn-rate gauges
+//                       and latches per-job deadline-at-risk flags
+//   --slo-window T      rolling SLO window in simulated seconds (default 10)
+//   --flightrec N       keep a flight recorder ring of the last N service
+//                       events (admit/launch/complete/fault/flush/...)
+//   --flightrec-out PATH dump the ring on error and at exit (ECHFLIGHT text,
+//                       round-trips through obs::parse_flight_dump)
+//   --series-budget N   cap every time series at N points (decimation by
+//                       stride doubling; oldest points thin out first)
+//   --trace-chunk-out PATH  stream trace events as incremental ECHCHUNK
+//                       chunks flushed at every telemetry boundary; memory
+//                       stays O(chunk), and obs::merge_trace_chunks rebuilds
+//                       a byte-identical Perfetto trace from the file
+//   --profile           self-profile control-plane phases (wall-clock; kept
+//                       out of the deterministic registries, exported as a
+//                       "service control" Perfetto process with --trace-out)
+//
 // observability options (both `single` and `cluster`, DESIGN.md §9):
 //   --trace-out PATH    write a Perfetto/Chrome trace_event JSON trace
 //                       (open in https://ui.perfetto.dev). `cluster` writes
@@ -93,6 +120,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cluster/sweep.hpp"
@@ -100,6 +128,7 @@
 #include "cluster/trace.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "echelon/aalo.hpp"
 #include "echelon/coflow_madd.hpp"
 #include "echelon/echelon_madd.hpp"
@@ -107,11 +136,14 @@
 #include "echelon/srpt.hpp"
 #include "netsim/timeline.hpp"
 #include "obs/export.hpp"
+#include "obs/expose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "service/arrivals.hpp"
 #include "service/service.hpp"
+#include "service/slo.hpp"
 #include "service/snapshot.hpp"
 #include "topology/builders.hpp"
 #include "workload/dp.hpp"
@@ -151,6 +183,8 @@ Args parse(int argc, char** argv, int from) {
     key = key.substr(2);
     if (key == "timeline") {
       a.flag_timeline = true;
+    } else if (key == "profile") {
+      a.kv["profile"] = "1";
     } else if (i + 1 < argc) {
       a.kv[key] = argv[++i];
     }
@@ -654,6 +688,63 @@ int cmd_serve(const Args& args) {
   }
   if (obs_args.metrics()) cfg.metrics = &metrics;
 
+  // Telemetry (DESIGN.md §15). All of it is derived from simulated time and
+  // journaled state, so any combination of these flags leaves the service
+  // results bit-identical (tests/test_service_telemetry.cpp pins this).
+  const std::string prom_out = args.get("prom-out", "");
+  const std::string chunk_out = args.get("trace-chunk-out", "");
+  const std::string flightrec_out = args.get("flightrec-out", "");
+  cfg.telemetry.metrics_every = args.getd("metrics-every", 0.0);
+  cfg.telemetry.series_budget =
+      static_cast<std::size_t>(std::max(0, args.geti("series-budget", 0)));
+  cfg.telemetry.flightrec_capacity =
+      static_cast<std::size_t>(std::max(0, args.geti("flightrec", 0)));
+  cfg.telemetry.profile = args.geti("profile", 0) != 0;
+  cfg.telemetry.slo.window = args.getd("slo-window", 10.0);
+  if (const std::string spec = args.get("slo", ""); !spec.empty()) {
+    std::string err;
+    auto objectives = service::parse_slo_spec(spec, &err);
+    if (!objectives) {
+      std::cerr << "bad --slo spec: " << err << "\n";
+      return 2;
+    }
+    cfg.telemetry.slo.objectives = std::move(*objectives);
+  }
+  if (!flightrec_out.empty() && cfg.telemetry.flightrec_capacity == 0) {
+    cfg.telemetry.flightrec_capacity = 256;
+  }
+  if ((!prom_out.empty() || !chunk_out.empty()) &&
+      cfg.telemetry.metrics_every <= 0.0) {
+    cfg.telemetry.metrics_every = 0.1;
+  }
+
+  std::optional<obs::PromWriter> prom;
+  if (!prom_out.empty()) {
+    prom.emplace(prom_out,
+                 static_cast<std::size_t>(std::max(0, args.geti("prom-rotate",
+                                                                0))));
+  }
+  std::ofstream chunk_stream;
+  std::optional<obs::TraceChunkWriter> chunk;
+  if (!chunk_out.empty()) {
+    chunk_stream.open(chunk_out, std::ios::trunc);
+    if (!chunk_stream) {
+      std::cerr << "cannot write " << chunk_out << "\n";
+      return 1;
+    }
+    chunk.emplace(chunk_stream);
+    // The chunk writer *is* the trace sink: events stream to disk at every
+    // flush boundary instead of accumulating in the in-memory recorder.
+    cfg.trace_sink = &*chunk;
+    if (cfg.trace_detail == obs::TraceDetail::kOff) {
+      cfg.trace_detail = obs::TraceDetail::kFlow;
+    }
+  }
+  service::TelemetryOutputs touts;
+  touts.prom = prom.has_value() ? &*prom : nullptr;
+  touts.chunk = chunk.has_value() ? &*chunk : nullptr;
+  touts.flightrec_path = flightrec_out;
+
   const std::string snapshot_in = args.get("snapshot-in", "");
   const std::string snapshot_out = args.get("snapshot-out", "");
   const std::uint64_t snapshot_every =
@@ -669,6 +760,7 @@ int cmd_serve(const Args& args) {
       ro.trace_sink = cfg.trace_sink;
       ro.trace_detail = cfg.trace_detail;
       ro.metrics = cfg.metrics;
+      ro.telemetry = touts;
       loop = service::restore_snapshot_file(snapshot_in, ro);
       std::cout << "restored " << snapshot_in << " at step "
                 << loop->steps_executed() << " (t=" << loop->sim().now()
@@ -701,6 +793,7 @@ int cmd_serve(const Args& args) {
         cfg.fault_plan = &chaos_plan;
       }
       loop = std::make_unique<service::ServiceLoop>(cfg);
+      loop->attach_telemetry_outputs(touts);
 
       const std::string arrivals_path = args.get("arrivals", "");
       if (!arrivals_path.empty()) {
@@ -737,18 +830,30 @@ int cmd_serve(const Args& args) {
     while (loop->step()) {
       if (!snapshot_out.empty() && snapshot_every > 0 &&
           loop->steps_executed() % snapshot_every == 0) {
+        const ScopedTimer st;
         service::save_snapshot_file(*loop, snapshot_out);
+        loop->record_phase_ms("snapshot_save", st.elapsed_ms());
+        // After the save, so the image matches an uninterrupted run.
+        loop->note_snapshot();
       }
     }
     if (!snapshot_out.empty()) {
+      const ScopedTimer st;
       service::save_snapshot_file(*loop, snapshot_out);
+      loop->record_phase_ms("snapshot_save", st.elapsed_ms());
+      loop->note_snapshot();
       std::cout << "wrote " << snapshot_out << "\n";
     }
     loop->drain();
+    // Terminal flush so the last exposition/chunk reflects end-of-run state
+    // (drain runs past the final step boundary).
+    loop->flush_now();
   } catch (const service::SnapshotError& e) {
+    if (loop != nullptr) loop->note_error(e.what());
     std::cerr << "snapshot error: " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {
+    if (loop != nullptr) loop->note_error(e.what());
     std::cerr << "serve failed: " << e.what() << "\n";
     return 1;
   }
@@ -764,12 +869,66 @@ int cmd_serve(const Args& args) {
              Table::num(r.total_tardiness, 3),
              std::to_string(r.control_invocations)});
   t.print(std::cout);
+  if (loop->config().telemetry.enabled()) {
+    std::cout << "telemetry: " << r.telemetry_flushes << " flushes";
+    if (loop->slo() != nullptr) {
+      std::cout << ", " << r.deadline_at_risk << " jobs deadline-at-risk";
+    }
+    std::cout << "\n";
+  }
+
+  if (prom.has_value()) {
+    std::cout << "wrote " << prom_out << " (" << prom->writes()
+              << " exposition writes)\n";
+  }
+  if (chunk.has_value()) {
+    chunk_stream.flush();
+    std::cout << "wrote " << chunk_out << " (" << chunk->chunks()
+              << " chunks, " << chunk->total_events() << " events)\n";
+  }
+  if (!flightrec_out.empty() && loop->flight() != nullptr) {
+    std::ofstream out(flightrec_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << flightrec_out << "\n";
+      return 1;
+    }
+    loop->dump_flight(out);
+    std::cout << "wrote " << flightrec_out << " ("
+              << loop->flight()->recorded() << " events recorded)\n";
+  }
 
   if (obs_args.tracing() && !obs_args.trace_out.empty()) {
     obs::PerfettoOptions popt;
-    const obs::MetricsSnapshot snap = metrics.snapshot();
-    if (!export_trace(obs_args.trace_out, recorder,
-                      obs_args.metrics() ? &snap : nullptr, popt)) {
+    obs::MetricsSnapshot snap = metrics.snapshot();
+    if (loop->config().telemetry.profile) {
+      // Wall-clock self-profiling series ride into the trace as the
+      // dedicated "service control" counter process (obs::kServicePid).
+      // They stay out of `metrics` itself so the deterministic registries
+      // never see wall time.
+      const obs::MetricsSnapshot prof = loop->profile_snapshot();
+      snap.series.insert(snap.series.end(), prof.series.begin(),
+                         prof.series.end());
+      snap.histograms.insert(snap.histograms.end(), prof.histograms.begin(),
+                             prof.histograms.end());
+    }
+    const bool have_snap = obs_args.metrics() || !snap.empty();
+    const obs::TraceRecorder* source = &recorder;
+    obs::TraceRecorder merged(1u << 20);
+    if (chunk.has_value()) {
+      // Chunked streaming replaced the in-memory recorder; rebuild the
+      // trace from the chunk file (byte-identical to an unchunked run).
+      chunk_stream.close();
+      std::ifstream in(chunk_out);
+      try {
+        obs::merge_trace_chunks(in, merged);
+      } catch (const std::exception& e) {
+        std::cerr << "cannot merge " << chunk_out << ": " << e.what() << "\n";
+        return 1;
+      }
+      source = &merged;
+    }
+    if (!export_trace(obs_args.trace_out, *source,
+                      have_snap ? &snap : nullptr, popt)) {
       return 1;
     }
   }
